@@ -1,0 +1,171 @@
+//! Parameter planning: choosing `(R, K)` for a deployment.
+//!
+//! The paper's §5.3-§5.4 leave dimensioning implicit ("we have to consider
+//! this probability to dimension precisely the size of the vector"); this
+//! module makes it explicit: given an estimated concurrency `X` (aggregate
+//! message rate × propagation delay) and a target covering probability,
+//! compute the smallest vector and the best `K`.
+
+use crate::error_model::{error_probability, optimal_k_integer};
+
+/// A planned configuration with its predicted covering probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// Vector length.
+    pub r: usize,
+    /// Entries per process.
+    pub k: usize,
+    /// Predicted `P_error` at the estimated concurrency.
+    pub p_error: f64,
+    /// Timestamp wire size in bytes (8-byte entries).
+    pub wire_bytes: usize,
+}
+
+/// Errors from planning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanError {
+    /// The target cannot be met within the given maximum vector length.
+    Infeasible {
+        /// Largest `R` tried.
+        max_r: usize,
+        /// Best probability achievable at `max_r`.
+        best_p: f64,
+    },
+    /// Inputs out of domain (non-positive concurrency or target).
+    InvalidInput,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Infeasible { max_r, best_p } => write!(
+                f,
+                "target unreachable: best P_error at R={max_r} is {best_p:.3e}"
+            ),
+            Self::InvalidInput => write!(f, "concurrency and target must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Best configuration for a fixed vector length: the error-minimizing `K`
+/// and its prediction.
+///
+/// # Panics
+///
+/// Panics if `r == 0` or `x <= 0`.
+#[must_use]
+pub fn best_for_r(r: usize, x: f64) -> Plan {
+    let k = optimal_k_integer(r, x);
+    Plan { r, k, p_error: error_probability(r, k, x), wire_bytes: r * 8 }
+}
+
+/// Smallest `R` (with its optimal `K`) whose predicted `P_error` is at
+/// most `target`, searching `R` in `[1, max_r]` by doubling + binary
+/// search (the model is monotone decreasing in `R` at optimal `K`).
+///
+/// # Errors
+///
+/// [`PlanError::InvalidInput`] for non-positive `x`/`target`;
+/// [`PlanError::Infeasible`] when even `max_r` cannot reach the target.
+///
+/// ```
+/// use pcb_analysis::planner::plan_for_target;
+/// // Tolerate 1 covering in 10^4 at X = 20 concurrent messages.
+/// let plan = plan_for_target(20.0, 1e-4, 10_000)?;
+/// assert!(plan.p_error <= 1e-4);
+/// assert!(plan.r < 10_000, "far smaller than a vector clock for large N");
+/// # Ok::<(), pcb_analysis::planner::PlanError>(())
+/// ```
+pub fn plan_for_target(x: f64, target: f64, max_r: usize) -> Result<Plan, PlanError> {
+    if !(x > 0.0) || !(target > 0.0) || max_r == 0 {
+        return Err(PlanError::InvalidInput);
+    }
+    let meets = |r: usize| best_for_r(r, x).p_error <= target;
+    if !meets(max_r) {
+        return Err(PlanError::Infeasible { max_r, best_p: best_for_r(max_r, x).p_error });
+    }
+    // Doubling phase.
+    let mut hi = 1usize;
+    while hi < max_r && !meets(hi) {
+        hi = (hi * 2).min(max_r);
+    }
+    // Binary search for the smallest feasible R in (hi/2, hi].
+    let mut lo = (hi / 2).max(1);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if meets(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(best_for_r(hi, x))
+}
+
+/// Compression ratio versus a vector clock for `n` processes: how many
+/// times smaller the probabilistic timestamp is.
+#[must_use]
+pub fn compression_vs_vector_clock(plan: &Plan, n: usize) -> f64 {
+    (n * 8) as f64 / plan.wire_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_for_r_is_no_worse_than_neighbours() {
+        let plan = best_for_r(100, 20.0);
+        assert!(plan.k >= 1);
+        let p_minus = if plan.k > 1 { error_probability(100, plan.k - 1, 20.0) } else { f64::MAX };
+        let p_plus = error_probability(100, plan.k + 1, 20.0);
+        assert!(plan.p_error <= p_minus);
+        assert!(plan.p_error <= p_plus);
+        assert_eq!(plan.wire_bytes, 800);
+    }
+
+    #[test]
+    fn plan_meets_target() {
+        let plan = plan_for_target(20.0, 1e-3, 100_000).unwrap();
+        assert!(plan.p_error <= 1e-3);
+        // Minimality: R-1 misses the target.
+        if plan.r > 1 {
+            assert!(best_for_r(plan.r - 1, 20.0).p_error > 1e-3);
+        }
+    }
+
+    #[test]
+    fn plan_rejects_bad_input() {
+        assert_eq!(plan_for_target(0.0, 0.1, 100), Err(PlanError::InvalidInput));
+        assert_eq!(plan_for_target(5.0, 0.0, 100), Err(PlanError::InvalidInput));
+        assert_eq!(plan_for_target(5.0, 0.1, 0), Err(PlanError::InvalidInput));
+    }
+
+    #[test]
+    fn plan_reports_infeasible() {
+        let err = plan_for_target(1000.0, 1e-12, 4).unwrap_err();
+        match err {
+            PlanError::Infeasible { max_r, best_p } => {
+                assert_eq!(max_r, 4);
+                assert!(best_p > 1e-12);
+            }
+            PlanError::InvalidInput => panic!("wrong error variant"),
+        }
+    }
+
+    #[test]
+    fn tighter_target_needs_bigger_vector() {
+        let loose = plan_for_target(20.0, 1e-2, 100_000).unwrap();
+        let tight = plan_for_target(20.0, 1e-6, 100_000).unwrap();
+        assert!(tight.r > loose.r);
+    }
+
+    #[test]
+    fn compression_ratio() {
+        let plan = Plan { r: 100, k: 4, p_error: 0.1, wire_bytes: 800 };
+        // N = 10_000 processes: vector clock is 80 kB, ours 800 B.
+        assert!((compression_vs_vector_clock(&plan, 10_000) - 100.0).abs() < 1e-12);
+    }
+}

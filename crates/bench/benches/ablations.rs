@@ -1,0 +1,83 @@
+//! Per-operation costs of the design alternatives discussed in
+//! DESIGN.md: increment vs merge delivery recording, assignment-policy
+//! draw cost, and the K sensitivity of the hot delivery test. The
+//! *error-rate* effect of these choices is measured by the `ablations`
+//! binary; these benches measure their *time* cost.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcb_broadcast::{Discipline, MergeProbDiscipline, ProbDiscipline};
+use pcb_clock::{AssignmentPolicy, KeyAssigner, KeySet, KeySpace, ProcessId};
+
+const R: usize = 100;
+
+fn keys_k(k: usize, seed: u64) -> KeySet {
+    let space = KeySpace::new(R, k).expect("space");
+    KeyAssigner::new(space, AssignmentPolicy::UniformRandom, seed)
+        .next_set()
+        .expect("assignment")
+}
+
+fn bench_increment_vs_merge(c: &mut Criterion) {
+    let sender_keys = keys_k(4, 1);
+    let mut sender = ProbDiscipline::new(sender_keys.clone());
+    let ts = sender.stamp_send();
+    let p = ProcessId::new(0);
+
+    let mut inc = ProbDiscipline::new(keys_k(4, 2));
+    c.bench_function("ablation/record_increment_k4", |b| {
+        b.iter(|| black_box(inc.record_delivery(0, p, &sender_keys, &ts)))
+    });
+
+    let mut mrg = MergeProbDiscipline::new(keys_k(4, 2));
+    c.bench_function("ablation/record_merge_r100", |b| {
+        b.iter(|| black_box(mrg.record_delivery(0, p, &sender_keys, &ts)))
+    });
+}
+
+fn bench_assignment_policies(c: &mut Criterion) {
+    use criterion::BatchSize;
+    let space = KeySpace::new(R, 4).expect("space");
+    for (name, policy) in [
+        ("uniform", AssignmentPolicy::UniformRandom),
+        ("distinct", AssignmentPolicy::DistinctRandom),
+        ("round_robin", AssignmentPolicy::RoundRobin),
+    ] {
+        // Fresh assigner per batch of 64 draws: the distinct policy must
+        // never exhaust its C(R,K) pool mid-measurement.
+        c.bench_function(&format!("ablation/assign_{name}_x64"), |b| {
+            b.iter_batched(
+                || KeyAssigner::new(space, policy, 3),
+                |mut assigner| {
+                    for _ in 0..64 {
+                        black_box(assigner.next_set().expect("64 << C(R,K)"));
+                    }
+                    assigner
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_delivery_test_k_sensitivity(c: &mut Criterion) {
+    // §5.2 claims O(R) regardless of K; verify K barely matters.
+    for k in [1usize, 4, 16] {
+        let sender_keys = keys_k(k, 1);
+        let mut sender = ProbDiscipline::new(sender_keys.clone());
+        let ts = sender.stamp_send();
+        let rx = ProbDiscipline::new(keys_k(k, 2));
+        c.bench_function(&format!("ablation/is_deliverable_k{k}"), |b| {
+            b.iter(|| black_box(rx.is_deliverable(ProcessId::new(0), &sender_keys, &ts)))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_increment_vs_merge,
+    bench_assignment_policies,
+    bench_delivery_test_k_sensitivity,
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Micro-benchmarks for the §5.2 complexity claims: O(R) send and
+//! delivery-test, O(RK) set-id unranking, and the O(N) vector-clock
+//! baseline they replace.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcb_clock::{
+    combinatorics, BinomialTable, KeyAssigner, KeySet, KeySpace, ProbClock, ProcessId,
+    Timestamp, VectorClock,
+};
+
+const R: usize = 100;
+const K: usize = 4;
+const N: usize = 1000;
+
+fn paper_space() -> KeySpace {
+    KeySpace::new(R, K).expect("paper space")
+}
+
+fn sample_keys(seed: u64) -> KeySet {
+    let mut assigner = KeyAssigner::new(
+        paper_space(),
+        pcb_clock::AssignmentPolicy::UniformRandom,
+        seed,
+    );
+    assigner.next_set().expect("assignment")
+}
+
+fn bench_stamp_send(c: &mut Criterion) {
+    let keys = sample_keys(1);
+    let mut clock = ProbClock::new(paper_space());
+    c.bench_function("clock/prob_stamp_send_r100_k4", |b| {
+        b.iter(|| black_box(clock.stamp_send(black_box(&keys))))
+    });
+}
+
+fn bench_is_deliverable(c: &mut Criterion) {
+    let keys = sample_keys(1);
+    let mut sender = ProbClock::new(paper_space());
+    let ts = sender.stamp_send(&keys);
+    let mut rx = ProbClock::new(paper_space());
+    rx.record_delivery(&keys);
+    c.bench_function("clock/prob_is_deliverable_r100", |b| {
+        b.iter(|| black_box(rx.is_deliverable(black_box(&ts), black_box(&keys))))
+    });
+}
+
+fn bench_record_delivery(c: &mut Criterion) {
+    let keys = sample_keys(1);
+    let mut rx = ProbClock::new(paper_space());
+    c.bench_function("clock/prob_record_delivery_k4", |b| {
+        b.iter(|| rx.record_delivery(black_box(&keys)))
+    });
+}
+
+fn bench_is_covered(c: &mut Criterion) {
+    let keys = sample_keys(1);
+    let mut sender = ProbClock::new(paper_space());
+    let ts = sender.stamp_send(&keys);
+    let rx = ProbClock::new(paper_space());
+    c.bench_function("clock/prob_is_covered_alg4", |b| {
+        b.iter(|| black_box(rx.is_covered(black_box(&ts), black_box(&keys))))
+    });
+}
+
+fn bench_vector_clock(c: &mut Criterion) {
+    let mut sender = VectorClock::new(N);
+    let ts = sender.stamp_send(ProcessId::new(0));
+    let rx = VectorClock::new(N);
+    c.bench_function("clock/vector_is_deliverable_n1000", |b| {
+        b.iter(|| black_box(rx.is_deliverable(black_box(&ts), ProcessId::new(0))))
+    });
+    let mut rx2 = VectorClock::new(N);
+    c.bench_function("clock/vector_record_delivery_n1000", |b| {
+        b.iter(|| rx2.record_delivery(black_box(&ts), ProcessId::new(0)))
+    });
+}
+
+fn bench_unrank(c: &mut Criterion) {
+    let table = BinomialTable::new(R);
+    let total = table.get(R, K);
+    c.bench_function("clock/unrank_set_id_r100_k4", |b| {
+        let mut id = 0u128;
+        b.iter(|| {
+            id = (id + 9_973) % total;
+            black_box(combinatorics::unrank_with(&table, id, R, K).expect("in range"))
+        })
+    });
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let table = BinomialTable::new(R);
+    let combo = combinatorics::unrank_with(&table, 1_234_567, R, K).expect("in range");
+    c.bench_function("clock/rank_combination_r100_k4", |b| {
+        b.iter(|| black_box(combinatorics::rank_with(&table, black_box(&combo), R)))
+    });
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let a = sample_keys(1);
+    let b_keys = sample_keys(2);
+    c.bench_function("clock/keyset_overlap_k4", |b| {
+        b.iter(|| black_box(a.overlap(black_box(&b_keys))))
+    });
+}
+
+fn bench_timestamp_dominates(c: &mut Criterion) {
+    let a = Timestamp::from_entries((0..R as u64).collect());
+    let b_ts = Timestamp::from_entries((0..R as u64).map(|x| x.saturating_sub(1)).collect());
+    c.bench_function("clock/timestamp_dominates_r100", |b| {
+        b.iter(|| black_box(a.dominates(black_box(&b_ts))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_stamp_send,
+    bench_is_deliverable,
+    bench_record_delivery,
+    bench_is_covered,
+    bench_vector_clock,
+    bench_unrank,
+    bench_rank,
+    bench_overlap,
+    bench_timestamp_dominates,
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! End-to-end engine throughput on miniature versions of the paper's
+//! figure configurations. These benches verify the simulator is fast
+//! enough for the full sweeps and compare discipline costs under an
+//! identical workload; the *figure data itself* comes from the
+//! `fig3..fig6` binaries.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcb_clock::KeySpace;
+use pcb_sim::{
+    simulate_fifo, simulate_immediate, simulate_prob, simulate_vector, SimConfig,
+};
+
+fn mini_config(n: usize) -> SimConfig {
+    SimConfig {
+        n,
+        warmup_ms: 200.0,
+        duration_ms: 2200.0,
+        seed: 7,
+        track_epsilon: false,
+        ..SimConfig::default()
+    }
+    .with_constant_receive_rate(200.0)
+}
+
+fn bench_engine_prob(c: &mut Criterion) {
+    let cfg = mini_config(40);
+    let space = KeySpace::new(100, 4).expect("space");
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("engine_prob_n40_x20", |b| {
+        b.iter(|| black_box(simulate_prob(&cfg, space).expect("run")))
+    });
+    group.finish();
+}
+
+fn bench_engine_vector(c: &mut Criterion) {
+    let cfg = mini_config(40);
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("engine_vector_n40_x20", |b| {
+        b.iter(|| black_box(simulate_vector(&cfg).expect("run")))
+    });
+    group.finish();
+}
+
+fn bench_engine_fifo(c: &mut Criterion) {
+    let cfg = mini_config(40);
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("engine_fifo_n40_x20", |b| {
+        b.iter(|| black_box(simulate_fifo(&cfg).expect("run")))
+    });
+    group.finish();
+}
+
+fn bench_engine_immediate(c: &mut Criterion) {
+    let cfg = mini_config(40);
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("engine_immediate_n40_x20", |b| {
+        b.iter(|| black_box(simulate_immediate(&cfg).expect("run")))
+    });
+    group.finish();
+}
+
+fn bench_engine_larger_population(c: &mut Criterion) {
+    // Scaling check: N = 120 at the same concurrency.
+    let cfg = mini_config(120);
+    let space = KeySpace::new(100, 4).expect("space");
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("engine_prob_n120_x20", |b| {
+        b.iter(|| black_box(simulate_prob(&cfg, space).expect("run")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_prob,
+    bench_engine_vector,
+    bench_engine_fifo,
+    bench_engine_immediate,
+    bench_engine_larger_population,
+);
+criterion_main!(benches);

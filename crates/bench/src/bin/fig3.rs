@@ -1,0 +1,47 @@
+//! Figure 3: error rate vs `K` for N ∈ {500, 1000, 1500, 2000} at a
+//! constant per-process receive rate of 200 msg/s (R = 100).
+//!
+//! The paper reports the empirical minimum at `K = 4` against the
+//! theoretical `ln(2)·100/20 ≈ 3.5`.
+//!
+//! ```text
+//! PCB_SCALE=0.25 cargo run --release -p pcb-bench --bin fig3
+//! ```
+
+use pcb_analysis::optimal_k;
+use pcb_sim::{figure3, figure3_defaults, render_csv, render_table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    pcb_bench::banner(
+        "Figure 3",
+        "errors vs K, constant 200 msg/s received per node, R = 100",
+    );
+    let (ns, ks) = figure3_defaults();
+    let rows = figure3(pcb_bench::sweep_options(), &ns, &ks)?;
+
+    println!(
+        "{}",
+        render_table("Figure 3 — violation rate per delivery", "N", &rows, |p| p
+            .n
+            .to_string())
+    );
+
+    // Per-N empirical optimum vs theory.
+    let x = rows.first().map_or(20.0, |r| r.concurrency);
+    println!("theoretical optimum K = ln(2)*100/{x:.0} = {:.2}", optimal_k(100, x));
+    for &n in &ns {
+        let best = rows
+            .iter()
+            .filter(|r| r.n == n)
+            .min_by(|a, b| a.violation_rate.total_cmp(&b.violation_rate));
+        if let Some(best) = best {
+            println!(
+                "N = {n:>5}: measured best K = {} (rate {:.3e})",
+                best.k, best.violation_rate
+            );
+        }
+    }
+
+    pcb_bench::maybe_write_csv("fig3", &render_csv(&rows));
+    Ok(())
+}

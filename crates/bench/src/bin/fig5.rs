@@ -1,0 +1,35 @@
+//! Figure 5: error rate vs `N` with λ fixed at 5000 ms (aggregate load
+//! grows with `N`), R = 100, K = 4.
+//!
+//! The paper: the error rate climbs quickly once `N` exceeds the design
+//! point of 1000 processes.
+//!
+//! ```text
+//! PCB_SCALE=0.25 cargo run --release -p pcb-bench --bin fig5
+//! ```
+
+use pcb_sim::{figure5, figure5_defaults, render_csv, render_table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    pcb_bench::banner("Figure 5", "error rate vs N at λ = 5000 ms, R = 100, K = 4");
+    let ns = figure5_defaults();
+    let rows = figure5(pcb_bench::sweep_options(), &ns)?;
+
+    println!(
+        "{}",
+        render_table("Figure 5 — violation rate per delivery", "N", &rows, |p| p
+            .n
+            .to_string())
+    );
+
+    let at = |n: usize| rows.iter().find(|r| r.n == n);
+    if let (Some(design), Some(big)) = (at(1000), at(2000)) {
+        println!(
+            "N = 2000 rate is {:.1}x the N = 1000 rate (paper: growth past the estimate)",
+            big.violation_rate / design.violation_rate.max(1e-12)
+        );
+    }
+
+    pcb_bench::maybe_write_csv("fig5", &render_csv(&rows));
+    Ok(())
+}

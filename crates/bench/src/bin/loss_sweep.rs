@@ -1,0 +1,52 @@
+//! Loss-rate sweep (extension): error rate under lossy links with
+//! reliable-broadcast retransmission. Loss converts into long, highly
+//! variable delays — raising `P_nc` (the chance a message is overtaken)
+//! while the covering probability `P_error` stays put, so the violation
+//! rate climbs roughly linearly in the loss-induced reorder rate.
+//!
+//! ```text
+//! cargo run --release -p pcb-bench --bin loss_sweep
+//! ```
+
+use pcb_clock::KeySpace;
+use pcb_sim::{simulate_prob, LossModel, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    pcb_bench::banner("Loss sweep", "violation rate vs link loss (N = 150, X = 20, RTO = 200 ms)");
+    let base = SimConfig {
+        n: 150,
+        warmup_ms: 1000.0,
+        duration_ms: 1000.0 + 14_000.0 * pcb_bench::scale(),
+        seed: pcb_bench::seed(),
+        track_epsilon: false,
+        ..SimConfig::default()
+    }
+    .with_constant_receive_rate(200.0);
+    let space = KeySpace::new(100, 4)?;
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>10}",
+        "loss", "violations", "mean delay", "p99-ish (max)", "stuck"
+    );
+    for loss_pct in [0.0, 1.0, 5.0, 10.0, 20.0, 40.0] {
+        let cfg = SimConfig {
+            loss: (loss_pct > 0.0).then(|| LossModel {
+                drop_probability: loss_pct / 100.0,
+                retransmit_ms: 200.0,
+            }),
+            ..base.clone()
+        };
+        let m = simulate_prob(&cfg, space)?;
+        println!(
+            "{loss_pct:>7}% {:>12.3e} {:>10.1}ms {:>12.1}ms {:>10}",
+            m.violation_rate(),
+            m.delay_ms.mean(),
+            m.delay_ms.max(),
+            m.stuck
+        );
+        assert_eq!(m.stuck, 0, "retransmission keeps the protocol live");
+    }
+    println!();
+    println!("Liveness holds at every loss rate; ordering quality degrades gracefully.");
+    Ok(())
+}

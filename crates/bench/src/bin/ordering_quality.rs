@@ -1,0 +1,128 @@
+//! Ordering-judgment quality across the `(N, R, K)` design space (§2's
+//! lineage made quantitative): how often are truly *concurrent* sends
+//! falsely judged ordered by the constant-size stamps? Lamport clocks
+//! order everything (false-order rate → 1), vector clocks nothing → 0,
+//! and the paper's `(R, K)` stamps interpolate.
+//!
+//! Plausibility is asserted throughout: truly ordered pairs are never
+//! judged reversed or concurrent.
+//!
+//! ```text
+//! cargo run --release -p pcb-bench --bin ordering_quality
+//! ```
+
+use pcb_clock::{
+    compare::{judge, JudgmentQuality},
+    AssignmentPolicy, KeyAssigner, KeySet, KeySpace, ProbClock, ProcessId, Timestamp,
+    VectorClock,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+struct Sample {
+    prob_ts: Timestamp,
+    keys: KeySet,
+    true_ts: VectorClock,
+}
+
+/// Random broadcast history over `n` processes: each step one process
+/// delivers a random subset of undelivered messages (respecting nothing —
+/// this is about *send* stamps, not delivery order) and then broadcasts.
+fn history(space: KeySpace, policy: AssignmentPolicy, n: usize, steps: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assigner = KeyAssigner::new(space, policy, seed ^ 0xABCD);
+    let keys: Vec<KeySet> = assigner.assign_n(n).expect("assignment");
+    let mut prob: Vec<ProbClock> = (0..n).map(|_| ProbClock::new(space)).collect();
+    let mut truth: Vec<VectorClock> = (0..n).map(|_| VectorClock::new(n)).collect();
+    let mut delivered: Vec<Vec<bool>> = (0..n).map(|_| Vec::new()).collect();
+    let mut samples: Vec<(usize, Sample)> = Vec::new();
+
+    for _ in 0..steps {
+        let s = rng.random_range(0..n);
+        // Deliver a random subset of what s has not yet seen, in send
+        // order, but only through the protocol's own guard — exactly as
+        // a PcbProcess would admit them.
+        for (idx, (origin, sample)) in samples.iter().enumerate() {
+            if delivered[s].len() <= idx {
+                delivered[s].push(false);
+            }
+            if *origin != s
+                && !delivered[s][idx]
+                && rng.random_bool(0.4)
+                && prob[s].is_deliverable(&sample.prob_ts, &sample.keys)
+            {
+                prob[s].record_delivery(&sample.keys);
+                truth[s].record_delivery(&sample.true_ts, ProcessId::new(*origin));
+                delivered[s][idx] = true;
+            }
+        }
+        let prob_ts = prob[s].stamp_send(&keys[s]);
+        let true_ts = truth[s].stamp_send(ProcessId::new(s));
+        samples.push((s, Sample { prob_ts, keys: keys[s].clone(), true_ts }));
+        for d in &mut delivered {
+            d.resize(samples.len(), false);
+        }
+        let last = samples.len() - 1;
+        delivered[s][last] = true; // own message counts as seen
+    }
+    samples.into_iter().map(|(_, s)| s).collect()
+}
+
+fn assess(samples: &[Sample]) -> JudgmentQuality {
+    let mut q = JudgmentQuality::default();
+    for i in 0..samples.len() {
+        for j in i + 1..samples.len() {
+            let a = &samples[i];
+            let b = &samples[j];
+            let truth = a.true_ts.compare(&b.true_ts);
+            let judged = judge(&a.prob_ts, &a.keys, &b.prob_ts, &b.keys);
+            q.record(truth, judged);
+        }
+    }
+    q
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    pcb_bench::banner(
+        "Ordering quality",
+        "false-order rate of (R, K) stamps on truly concurrent sends",
+    );
+    let n = 24;
+    let steps = 400;
+    println!(
+        "{:>18} {:>10} {:>12} {:>14} {:>10}",
+        "clock", "pairs", "concurrent", "false-ordered", "rate"
+    );
+    let configs: &[(&str, usize, usize, AssignmentPolicy)] = &[
+        ("lamport (1,1)", 1, 1, AssignmentPolicy::UniformRandom),
+        ("plausible (8,1)", 8, 1, AssignmentPolicy::UniformRandom),
+        ("plausible (32,1)", 32, 1, AssignmentPolicy::UniformRandom),
+        ("prob (16,2)", 16, 2, AssignmentPolicy::UniformRandom),
+        ("prob (32,3)", 32, 3, AssignmentPolicy::UniformRandom),
+        ("prob (100,4)", 100, 4, AssignmentPolicy::UniformRandom),
+        ("vector (24,1)", n, 1, AssignmentPolicy::RoundRobin),
+    ];
+    let mut last_rate = f64::INFINITY;
+    for &(name, r, k, policy) in configs {
+        let space = KeySpace::new(r, k)?;
+        let samples = history(space, policy, n, steps, pcb_bench::seed());
+        let q = assess(&samples);
+        assert_eq!(q.ordered_reversed, 0, "plausibility: never reverse true order");
+        assert_eq!(q.ordered_missed, 0, "dominance must capture true order");
+        println!(
+            "{name:>18} {:>10} {:>12} {:>14} {:>10.4}",
+            q.total(),
+            q.concurrent_correct + q.concurrent_false_order,
+            q.concurrent_false_order,
+            q.false_order_rate()
+        );
+        let _ = last_rate;
+        last_rate = q.false_order_rate();
+    }
+    println!();
+    println!(
+        "Lamport orders (almost) everything, the vector configuration nothing; the paper's \
+         stamps buy accuracy with R·K — the same trade the delivery guard exploits."
+    );
+    Ok(())
+}

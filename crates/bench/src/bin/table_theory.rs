@@ -1,0 +1,73 @@
+//! §5.3 theory table: `P_error(R, K, X)` across `K`, the optimum
+//! `K_min = ln(2)·R/X`, and dimensioning examples.
+//!
+//! ```text
+//! cargo run --release -p pcb-bench --bin table_theory
+//! ```
+
+use pcb_analysis::{
+    best_for_r, causal_reorder_probability, compression_vs_vector_clock,
+    entry_covered_probability, error_probability, k_sweep, optimal_k, optimal_k_integer,
+    plan_for_target, predicted_violation_rate,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== §5.3 theory: P_error(R, K, X) = (1 - (1 - 1/R)^(K·X))^K ===\n");
+
+    // The paper's working point.
+    let (r, x) = (100usize, 20.0f64);
+    println!("R = {r}, X = {x} (200 msg/s aggregate × 100 ms propagation)");
+    println!(
+        "per-entry coverage at K = 4: {:.4} (the Bloom-filter load factor)",
+        entry_covered_probability(r, 4, x)
+    );
+    println!("ideal K = ln(2)·{r}/{x:.0} = {:.3}", optimal_k(r, x));
+    println!("best integer K = {}", optimal_k_integer(r, x));
+    println!();
+
+    println!("{:>4} {:>14}", "K", "P_error");
+    for point in k_sweep(r, 12, x) {
+        println!("{:>4} {:>14.5e}", point.k, point.p_error);
+    }
+    println!();
+
+    println!("=== Optimal K and P_error for other (R, X) points ===\n");
+    println!("{:>6} {:>6} {:>4} {:>14}", "R", "X", "K*", "P_error(K*)");
+    for &(r, x) in &[(50usize, 20.0f64), (100, 20.0), (200, 20.0), (100, 10.0), (100, 40.0)] {
+        let plan = best_for_r(r, x);
+        println!("{r:>6} {x:>6.0} {:>4} {:>14.5e}", plan.k, plan.p_error);
+    }
+    println!();
+
+    println!("=== Dimensioning for a target error at X = 20 ===\n");
+    println!(
+        "{:>10} {:>6} {:>4} {:>12} {:>18}",
+        "target", "R", "K", "bytes", "vs VC (N=10^4)"
+    );
+    for target in [1e-2, 1e-3, 1e-4, 1e-5, 1e-6] {
+        let plan = plan_for_target(20.0, target, 1_000_000)?;
+        println!(
+            "{target:>10.0e} {:>6} {:>4} {:>12} {:>17.1}x",
+            plan.r,
+            plan.k,
+            plan.wire_bytes,
+            compression_vs_vector_clock(&plan, 10_000)
+        );
+    }
+    println!();
+
+    println!("sanity: P_error(100, 4, 20) = {:.5}", error_probability(100, 4, 20.0));
+    println!();
+
+    println!("=== P <= P_nc · P_error: first-principles end-to-end estimate ===\n");
+    let sigma_total = (20.0f64 * 20.0 + 20.0 * 20.0).sqrt();
+    let p_nc = causal_reorder_probability(100.0, 0.0, sigma_total);
+    println!("P_nc (causal pair, zero think time, σ_tot = {sigma_total:.1} ms): {p_nc:.4}");
+    println!(
+        "predicted violation rate at the §5.4.3 point: {:.3e} (measured ≈ 3.4e-4; the \
+         pending buffer absorbs part of the reorders, so measurements sit below this \
+         estimate — same decade)",
+        predicted_violation_rate(100, 4, 200.0, 100.0, sigma_total)
+    );
+    Ok(())
+}

@@ -1,0 +1,263 @@
+//! Delivery-error detection (paper §4.2, Algorithms 4 and 5).
+//!
+//! The probabilistic mechanism may deliver a message while a causal
+//! predecessor is still missing. Applications are assumed to own a
+//! recovery procedure (e.g. anti-entropy); these detectors decide *when*
+//! to run it. Both are sound alarms: **if no alert fires, no error
+//! occurred**. Algorithm 4 checks only the local vector and over-alerts;
+//! Algorithm 5 additionally consults a short list `L` of recently
+//! delivered messages, cutting false alerts.
+
+use std::collections::VecDeque;
+
+use pcb_clock::{KeySet, ProbClock, Timestamp};
+
+/// **Algorithm 4.** Alert (returns `true`) iff every entry of the sender's
+/// key set is already matched by the local vector, i.e. *no* entry is in
+/// the exactly-one-behind state `V_i[x] = m.V[x] - 1` that a nominal
+/// in-order delivery exhibits.
+///
+/// Run *before* `record_delivery`. A `true` result means concurrent
+/// messages have covered all of the sender's entries, so the local process
+/// may already have delivered messages that causally depend on `m` — or an
+/// error may be brewing for a message still in flight.
+///
+/// ```
+/// use pcb_broadcast::detector::instant_alert;
+/// use pcb_clock::{KeySet, KeySpace, ProbClock};
+/// let space = KeySpace::new(4, 2)?;
+/// let keys = KeySet::from_entries(space, &[0, 1])?;
+/// let mut sender = ProbClock::new(space);
+/// let ts = sender.stamp_send(&keys);
+/// let receiver = ProbClock::new(space);
+/// assert!(!instant_alert(&receiver, &ts, &keys)); // nominal: one behind
+/// # Ok::<(), pcb_clock::KeyError>(())
+/// ```
+#[must_use]
+pub fn instant_alert(clock: &ProbClock, ts: &Timestamp, sender_keys: &KeySet) -> bool {
+    clock.is_covered(ts, sender_keys)
+}
+
+/// **Algorithm 5.** The recent-list detector: keeps the messages delivered
+/// within the last `window` time units (the paper's `O(T_propagation)`)
+/// and alerts only when the coverage condition of Algorithm 4 holds *and*
+/// some recently delivered message dominates `m` on the sender's entries —
+/// evidence that the coverage came from messages that could actually have
+/// raced `m`.
+///
+/// Gossip layers and UDP-based reliable broadcasts typically already keep
+/// such a list for duplicate suppression, so the extra state is free in
+/// practice (paper §4.2.1).
+#[derive(Debug, Clone)]
+pub struct RecentListDetector {
+    window: u64,
+    list: VecDeque<DeliveredEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct DeliveredEntry {
+    at: u64,
+    timestamp: Timestamp,
+}
+
+impl RecentListDetector {
+    /// Creates a detector whose list `L` retains deliveries for `window`
+    /// time units (use the estimated propagation delay, e.g. `2·μ_d`).
+    #[must_use]
+    pub fn new(window: u64) -> Self {
+        Self { window, list: VecDeque::new() }
+    }
+
+    /// The retention window.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Current length of the recent list (after the last eviction).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the recent list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Runs the Algorithm 5 test for a message timestamped `ts` from a
+    /// sender with keys `sender_keys`, at local time `now`. Call before
+    /// `record_delivery`, and pair with [`RecentListDetector::record`]
+    /// after the delivery goes through.
+    #[must_use]
+    pub fn check(
+        &mut self,
+        now: u64,
+        clock: &ProbClock,
+        ts: &Timestamp,
+        sender_keys: &KeySet,
+    ) -> bool {
+        self.evict(now);
+        if !clock.is_covered(ts, sender_keys) {
+            return false;
+        }
+        self.list.iter().any(|entry| {
+            sender_keys.iter().all(|x| entry.timestamp[x] >= ts[x])
+        })
+    }
+
+    /// Records a delivery into the list `L`. Only the timestamp is needed:
+    /// the witness test compares timestamps on the *new* message's sender
+    /// entries.
+    pub fn record(&mut self, now: u64, timestamp: Timestamp) {
+        self.evict(now);
+        self.list.push_back(DeliveredEntry { at: now, timestamp });
+    }
+
+    fn evict(&mut self, now: u64) {
+        let horizon = now.saturating_sub(self.window);
+        while self.list.front().is_some_and(|e| e.at < horizon) {
+            self.list.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcb_clock::KeySpace;
+
+    fn space() -> KeySpace {
+        KeySpace::new(4, 2).unwrap()
+    }
+
+    fn keys(entries: &[usize]) -> KeySet {
+        KeySet::from_entries(space(), entries).unwrap()
+    }
+
+    #[test]
+    fn instant_alert_nominal_delivery_is_quiet() {
+        let f = keys(&[1, 2]);
+        let mut sender = ProbClock::new(space());
+        let ts = sender.stamp_send(&f);
+        let rx = ProbClock::new(space());
+        assert!(!instant_alert(&rx, &ts, &f));
+    }
+
+    #[test]
+    fn instant_alert_fires_when_covered() {
+        // Figure 2 replay: by the time the late m arrives, concurrent
+        // messages have pushed the receiver's entries past m's values.
+        let f_i = keys(&[0, 1]);
+        let f_1 = keys(&[0, 3]);
+        let f_2 = keys(&[1, 3]);
+        let mut pi = ProbClock::new(space());
+        let m = pi.stamp_send(&f_i);
+
+        let mut pk = ProbClock::new(space());
+        pk.record_delivery(&f_2);
+        pk.record_delivery(&f_1);
+        assert!(instant_alert(&pk, &m, &f_i), "fully covered late message must alert");
+    }
+
+    #[test]
+    fn instant_alert_quiet_with_partial_coverage() {
+        let f_i = keys(&[0, 1]);
+        let f_1 = keys(&[0, 3]);
+        let mut pi = ProbClock::new(space());
+        let m = pi.stamp_send(&f_i);
+        let mut pk = ProbClock::new(space());
+        pk.record_delivery(&f_1); // covers entry 0 only
+        assert!(!instant_alert(&pk, &m, &f_i));
+    }
+
+    #[test]
+    fn recent_list_requires_dominating_witness() {
+        let f_i = keys(&[0, 1]);
+        let f_1 = keys(&[0, 3]);
+        let f_2 = keys(&[1, 3]);
+        let mut det = RecentListDetector::new(100);
+
+        let mut pi = ProbClock::new(space());
+        let m = pi.stamp_send(&f_i);
+
+        let mut p1 = ProbClock::new(space());
+        let m1 = p1.stamp_send(&f_1);
+        let mut p2 = ProbClock::new(space());
+        let m2 = p2.stamp_send(&f_2);
+
+        let mut pk = ProbClock::new(space());
+        // Deliver m2 and m1, recording them in L.
+        assert!(!det.check(10, &pk, &m2, &f_2));
+        pk.record_delivery(&f_2);
+        det.record(10, m2.clone());
+        assert!(!det.check(12, &pk, &m1, &f_1));
+        pk.record_delivery(&f_1);
+        det.record(12, m1.clone());
+
+        // Late m arrives covered; no single recent message dominates both
+        // of f_i's entries (m1 has entry 0, m2 has entry 1), so Algorithm 5
+        // stays quiet where Algorithm 4 alerts.
+        assert!(instant_alert(&pk, &m, &f_i));
+        assert!(!det.check(14, &pk, &m, &f_i));
+    }
+
+    #[test]
+    fn recent_list_alerts_with_witness() {
+        // A witness whose timestamp dominates m on the sender's entries.
+        let f_i = keys(&[0, 1]);
+        let f_w = keys(&[2, 3]);
+        let mut det = RecentListDetector::new(100);
+
+        let mut pi = ProbClock::new(space());
+        let m = pi.stamp_send(&f_i); // [1,1,0,0]
+
+        // Witness from a process that already delivered m: stamp dominates
+        // m on entries {0,1}.
+        let mut pw = ProbClock::new(space());
+        pw.record_delivery(&f_i);
+        let w = pw.stamp_send(&f_w); // [1,1,1,1]
+
+        // Receiver delivers the witness first (its own condition passes
+        // only if m was delivered... simulate coverage by two others).
+        let mut pk = ProbClock::new(space());
+        pk.record_delivery(&keys(&[0, 3]));
+        pk.record_delivery(&keys(&[1, 2]));
+        det.record(5, w);
+
+        assert!(det.check(10, &pk, &m, &f_i), "dominating witness => alert");
+    }
+
+    #[test]
+    fn recent_list_evicts_by_window() {
+        let mut det = RecentListDetector::new(10);
+        det.record(0, Timestamp::from_entries(vec![5, 5, 0, 0]));
+        assert_eq!(det.len(), 1);
+        det.record(25, Timestamp::from_entries(vec![6, 6, 0, 0]));
+        assert_eq!(det.len(), 1, "entry at t=0 evicted at t=25 with window 10");
+        assert!(!det.is_empty());
+        assert_eq!(det.window(), 10);
+    }
+
+    #[test]
+    fn algorithm5_no_underestimate_vs_algorithm4() {
+        // Alg 5 alerts imply Alg 4 alerts (Alg 5 = Alg 4 AND witness).
+        let f_i = keys(&[0, 1]);
+        let mut det = RecentListDetector::new(1000);
+        let mut pi = ProbClock::new(space());
+        let m = pi.stamp_send(&f_i);
+
+        let mut pk = ProbClock::new(space());
+        det.record(0, Timestamp::from_entries(vec![9, 9, 9, 9]));
+        // Not covered locally: both algorithms quiet.
+        assert!(!instant_alert(&pk, &m, &f_i));
+        assert!(!det.check(1, &pk, &m, &f_i));
+        // Covered: Alg 5 may alert only because Alg 4 does.
+        pk.record_delivery(&keys(&[0, 3]));
+        pk.record_delivery(&keys(&[1, 3]));
+        if det.check(2, &pk, &m, &f_i) {
+            assert!(instant_alert(&pk, &m, &f_i));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Group membership with continuous joins and leaves.
+//!
+//! The probabilistic mechanism's headline property (paper §1, §2) is that
+//! timestamps do not encode membership: a process joins by drawing a
+//! random `set_id` — no global reconfiguration, no agreement, no resizing
+//! of anyone's vector. [`Group`] packages that bookkeeping for population
+//! construction and churn experiments; nothing in the ordering protocol
+//! itself reads it.
+
+use std::collections::BTreeMap;
+
+use pcb_clock::{AssignmentError, AssignmentPolicy, KeyAssigner, KeySet, KeySpace, ProcessId};
+
+/// A member's standing in the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Participating: sends and receives.
+    Alive,
+    /// Departed (voluntarily or by crash); retained for id stability.
+    Left,
+}
+
+/// Membership registry handing out identities and key sets.
+///
+/// ```
+/// use pcb_broadcast::{Group};
+/// use pcb_clock::{AssignmentPolicy, KeySpace};
+/// let space = KeySpace::new(100, 4)?;
+/// let mut group = Group::new(space, AssignmentPolicy::UniformRandom, 7);
+/// let (alice, alice_keys) = group.join()?;
+/// let (bob, _) = group.join()?;
+/// assert_eq!(group.alive_count(), 2);
+/// group.leave(alice);
+/// assert_eq!(group.alive_count(), 1);
+/// assert_eq!(alice_keys.len(), 4);
+/// # let _ = bob;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Group {
+    space: KeySpace,
+    assigner: KeyAssigner,
+    members: BTreeMap<ProcessId, (KeySet, MemberState)>,
+    next_id: usize,
+}
+
+impl Group {
+    /// Creates an empty group over the given key space.
+    #[must_use]
+    pub fn new(space: KeySpace, policy: AssignmentPolicy, seed: u64) -> Self {
+        Self {
+            space,
+            assigner: KeyAssigner::new(space, policy, seed),
+            members: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The key space members draw from.
+    #[must_use]
+    pub fn space(&self) -> KeySpace {
+        self.space
+    }
+
+    /// Admits a new member: allocates a fresh id and draws its key set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AssignmentError`] (only possible under the
+    /// `DistinctRandom` policy once the space is exhausted).
+    pub fn join(&mut self) -> Result<(ProcessId, KeySet), AssignmentError> {
+        let keys = self.assigner.next_set()?;
+        let id = ProcessId::new(self.next_id);
+        self.next_id += 1;
+        self.members.insert(id, (keys.clone(), MemberState::Alive));
+        Ok((id, keys))
+    }
+
+    /// Marks a member as departed. Unknown ids are ignored (leave is
+    /// idempotent and may race with crash detection).
+    pub fn leave(&mut self, id: ProcessId) {
+        if let Some((_, state)) = self.members.get_mut(&id) {
+            *state = MemberState::Left;
+        }
+    }
+
+    /// A member's key set, if it ever joined.
+    #[must_use]
+    pub fn keys_of(&self, id: ProcessId) -> Option<&KeySet> {
+        self.members.get(&id).map(|(k, _)| k)
+    }
+
+    /// A member's state, if it ever joined.
+    #[must_use]
+    pub fn state_of(&self, id: ProcessId) -> Option<MemberState> {
+        self.members.get(&id).map(|(_, s)| *s)
+    }
+
+    /// Iterates over currently alive members.
+    pub fn alive(&self) -> impl Iterator<Item = (ProcessId, &KeySet)> {
+        self.members
+            .iter()
+            .filter(|(_, (_, s))| *s == MemberState::Alive)
+            .map(|(id, (k, _))| (*id, k))
+    }
+
+    /// Number of alive members.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.alive().count()
+    }
+
+    /// Total identities ever issued (alive + departed).
+    #[must_use]
+    pub fn total_issued(&self) -> usize {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> Group {
+        Group::new(
+            KeySpace::new(10, 3).unwrap(),
+            AssignmentPolicy::UniformRandom,
+            1,
+        )
+    }
+
+    #[test]
+    fn join_assigns_fresh_ids_and_valid_keys() {
+        let mut g = group();
+        let (a, ka) = g.join().unwrap();
+        let (b, kb) = g.join().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(ka.len(), 3);
+        assert_eq!(kb.len(), 3);
+        assert_eq!(g.keys_of(a), Some(&ka));
+        assert_eq!(g.total_issued(), 2);
+    }
+
+    #[test]
+    fn leave_is_idempotent_and_tolerates_unknown() {
+        let mut g = group();
+        let (a, _) = g.join().unwrap();
+        g.leave(a);
+        g.leave(a);
+        g.leave(ProcessId::new(99));
+        assert_eq!(g.state_of(a), Some(MemberState::Left));
+        assert_eq!(g.state_of(ProcessId::new(99)), None);
+        assert_eq!(g.alive_count(), 0);
+    }
+
+    #[test]
+    fn churn_does_not_disturb_existing_keys() {
+        // The crux of the paper's motivation: joins/leaves never force a
+        // re-assignment of other members' entries.
+        let mut g = group();
+        let (a, ka) = g.join().unwrap();
+        let (_b, _) = g.join().unwrap();
+        for _ in 0..20 {
+            let (id, _) = g.join().unwrap();
+            g.leave(id);
+        }
+        assert_eq!(g.keys_of(a), Some(&ka), "a's keys survive churn untouched");
+        assert_eq!(g.alive_count(), 2);
+        assert_eq!(g.total_issued(), 22);
+    }
+
+    #[test]
+    fn alive_iterates_only_alive() {
+        let mut g = group();
+        let (a, _) = g.join().unwrap();
+        let (b, _) = g.join().unwrap();
+        g.leave(a);
+        let alive: Vec<ProcessId> = g.alive().map(|(id, _)| id).collect();
+        assert_eq!(alive, vec![b]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Anti-entropy recovery (paper §4.2).
+//!
+//! The paper *assumes* "a recovery procedure does exist (e.g.,
+//! anti-entropy)" and contributes the detectors that decide when to run
+//! it. This module supplies that procedure: every process keeps a
+//! [`MessageStore`] of recently seen messages (gossip and UDP stacks
+//! already do, §4.2.1); when a process suspects trouble — an Algorithm 4/5
+//! alert, or a pending message stuck past the propagation window — it
+//! sends a [`SyncRequest`] listing what it already has, and any peer
+//! answers with the recent messages the requester is missing. Replaying
+//! the response through `PcbProcess::on_receive` is idempotent thanks to
+//! duplicate suppression.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use crate::message::{Message, MessageId};
+
+/// Bounded store of recently seen messages, retained for `window` time
+/// units, used to answer anti-entropy requests.
+#[derive(Debug, Clone)]
+pub struct MessageStore<P> {
+    window: u64,
+    entries: VecDeque<(u64, Message<P>)>,
+}
+
+impl<P> MessageStore<P> {
+    /// A store retaining messages for `window` time units (size it to a
+    /// few propagation delays, like the Algorithm 5 list).
+    #[must_use]
+    pub fn new(window: u64) -> Self {
+        Self { window, entries: VecDeque::new() }
+    }
+
+    /// Records a message (own broadcasts *and* deliveries both belong
+    /// here — a peer may be missing either).
+    pub fn insert(&mut self, now: u64, message: Message<P>) {
+        self.evict(now);
+        self.entries.push_back((now, message));
+    }
+
+    /// Number of retained messages (after the last eviction).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up one message by id.
+    #[must_use]
+    pub fn get(&self, id: MessageId) -> Option<&Message<P>> {
+        self.entries.iter().find(|(_, m)| m.id() == id).map(|(_, m)| m)
+    }
+
+    /// Iterates over retained messages, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Message<P>> {
+        self.entries.iter().map(|(_, m)| m)
+    }
+
+    fn evict(&mut self, now: u64) {
+        let horizon = now.saturating_sub(self.window);
+        while self.entries.front().is_some_and(|(t, _)| *t < horizon) {
+            self.entries.pop_front();
+        }
+    }
+}
+
+/// Anti-entropy request: "here is what I recently saw; send me the rest".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncRequest {
+    /// Message ids the requester already holds (delivered or pending).
+    pub known: Vec<MessageId>,
+}
+
+impl SyncRequest {
+    /// Builds a request from an iterator of known ids.
+    #[must_use]
+    pub fn new(known: impl IntoIterator<Item = MessageId>) -> Self {
+        Self { known: known.into_iter().collect() }
+    }
+}
+
+/// Anti-entropy response: the recent messages the requester was missing.
+#[derive(Debug, Clone)]
+pub struct SyncResponse<P> {
+    /// Missing messages, oldest first; replay them through
+    /// `PcbProcess::on_receive`.
+    pub messages: Vec<Message<P>>,
+}
+
+impl<P: Clone> MessageStore<P> {
+    /// Answers a [`SyncRequest`] from this store.
+    #[must_use]
+    pub fn handle_sync(&self, request: &SyncRequest) -> SyncResponse<P> {
+        let known: HashSet<MessageId> = request.known.iter().copied().collect();
+        SyncResponse {
+            messages: self
+                .iter()
+                .filter(|m| !known.contains(&m.id()))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PcbProcess, ProcessStats};
+    use pcb_clock::{KeySet, KeySpace, ProcessId};
+
+    fn proc(id: usize, entries: &[usize]) -> PcbProcess<&'static str> {
+        let space = KeySpace::new(4, 2).unwrap();
+        PcbProcess::new(ProcessId::new(id), KeySet::from_entries(space, entries).unwrap())
+    }
+
+    #[test]
+    fn store_insert_get_evict() {
+        let mut a = proc(0, &[0, 1]);
+        let mut store: MessageStore<&'static str> = MessageStore::new(10);
+        let m1 = a.broadcast("one");
+        let m2 = a.broadcast("two");
+        store.insert(0, m1.clone());
+        store.insert(5, m2.clone());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(m1.id()).unwrap().payload(), &"one");
+        assert!(store.get(MessageId::new(ProcessId::new(9), 1)).is_none());
+        // t = 20: the t=0 entry falls outside the window.
+        store.insert(20, a.broadcast("three"));
+        assert!(store.get(m1.id()).is_none());
+        assert!(store.get(m2.id()).is_none(), "t=5 also expired at t=20");
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn sync_returns_only_missing() {
+        let mut a = proc(0, &[0, 1]);
+        let mut store = MessageStore::new(1000);
+        let m1 = a.broadcast("one");
+        let m2 = a.broadcast("two");
+        store.insert(0, m1.clone());
+        store.insert(1, m2.clone());
+
+        let resp = store.handle_sync(&SyncRequest::new([m1.id()]));
+        assert_eq!(resp.messages.len(), 1);
+        assert_eq!(resp.messages[0].id(), m2.id());
+
+        let all = store.handle_sync(&SyncRequest::new([]));
+        assert_eq!(all.messages.len(), 2);
+        let none = store.handle_sync(&SyncRequest::new([m1.id(), m2.id()]));
+        assert!(none.messages.is_empty());
+    }
+
+    #[test]
+    fn lost_message_recovered_by_anti_entropy() {
+        // p_a broadcasts m1 then m2. p_b gets both (and keeps a store).
+        // p_k loses m1: m2 blocks. Anti-entropy from p_b unblocks it.
+        let mut p_a = proc(0, &[0, 1]);
+        let mut p_b = proc(1, &[1, 2]);
+        let mut p_k = proc(2, &[2, 3]);
+        let mut b_store: MessageStore<&'static str> = MessageStore::new(1000);
+
+        let m1 = p_a.broadcast("m1");
+        let m2 = p_a.broadcast("m2");
+        for d in p_b
+            .on_receive(m1.clone(), 0)
+            .into_iter()
+            .chain(p_b.on_receive(m2.clone(), 1))
+        {
+            b_store.insert(1, d.message);
+        }
+
+        // m1 lost on the way to p_k; m2 arrives and blocks.
+        assert!(p_k.on_receive(m2.clone(), 2).is_empty());
+        assert_eq!(p_k.pending_len(), 1);
+        assert!(p_k.oldest_pending_age(60).is_some_and(|age| age >= 50));
+
+        // Stuck past the propagation window: ask p_b for what we miss.
+        let request = SyncRequest::new(p_k.seen_ids());
+        let response = b_store.handle_sync(&request);
+        assert_eq!(response.messages.len(), 1, "only m1 is missing");
+
+        let mut delivered = Vec::new();
+        for m in response.messages {
+            delivered.extend(p_k.on_receive(m, 61));
+        }
+        let order: Vec<&str> = delivered.iter().map(|d| *d.message.payload()).collect();
+        assert_eq!(order, ["m1", "m2"], "replay flushes the blocked message too");
+        assert_eq!(p_k.pending_len(), 0);
+    }
+
+    #[test]
+    fn replaying_a_sync_response_is_idempotent() {
+        let mut p_a = proc(0, &[0, 1]);
+        let mut p_k = proc(2, &[2, 3]);
+        let mut store = MessageStore::new(1000);
+        let m1 = p_a.broadcast("m1");
+        store.insert(0, m1.clone());
+
+        assert_eq!(p_k.on_receive(m1, 0).len(), 1);
+        // A redundant sync (e.g. two peers answered) delivers nothing new.
+        let resp = store.handle_sync(&SyncRequest::new([]));
+        let mut extra = 0;
+        for m in resp.messages {
+            extra += p_k.on_receive(m, 1).len();
+        }
+        assert_eq!(extra, 0);
+        let ProcessStats { duplicates, delivered, .. } = p_k.stats();
+        assert_eq!(duplicates, 1);
+        assert_eq!(delivered, 1);
+    }
+}

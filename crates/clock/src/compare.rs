@@ -1,0 +1,244 @@
+//! Plausible-clock-style causality *judgments* between probabilistic
+//! timestamps.
+//!
+//! The paper's mechanism descends from Torres-Rojas & Ahamad's plausible
+//! clocks (§2): constant-size stamps that order events *plausibly* —
+//! whenever `a → b` the judgment is never the reverse, but concurrent
+//! events may be judged ordered (false positives). This module provides
+//! that judgment for the `(R, K)` stamps, plus a quality harness used by
+//! the `ordering_quality` experiment to measure how the false-ordering
+//! rate shrinks as `R` and `K` grow — the `(N, R, K)` design-space story
+//! told quantitatively.
+
+use crate::{CausalRelation, KeySet, Timestamp};
+
+/// Judges the causal relation between two *send* events from their
+/// probabilistic stamps, as a plausible clock would.
+///
+/// Guarantee (plausibility): if the send of `a` happened before the send
+/// of `b`, the result is never [`CausalRelation::After`] — `b`'s stamp
+/// dominates `a`'s because every counter only grows along causal paths.
+/// Concurrent sends, however, may be judged ordered when their entries
+/// accidentally dominate (the same covering phenomenon that drives
+/// delivery errors).
+///
+/// `a_keys`/`b_keys` are the senders' key sets; ties on dominance are
+/// broken toward `Concurrent` when neither sender's own entries strictly
+/// advance.
+///
+/// # Panics
+///
+/// Panics if the stamps have different lengths.
+///
+/// ```
+/// use pcb_clock::{compare::judge, CausalRelation, KeySet, KeySpace, ProbClock};
+/// let space = KeySpace::new(8, 2)?;
+/// let ka = KeySet::from_entries(space, &[0, 1])?;
+/// let kb = KeySet::from_entries(space, &[2, 3])?;
+/// let mut a = ProbClock::new(space);
+/// let ts_a = a.stamp_send(&ka);
+/// let mut b = ProbClock::new(space);
+/// b.record_delivery(&ka); // b delivered a's message
+/// let ts_b = b.stamp_send(&kb);
+/// assert_eq!(judge(&ts_a, &ka, &ts_b, &kb), CausalRelation::Before);
+/// # Ok::<(), pcb_clock::KeyError>(())
+/// ```
+#[must_use]
+pub fn judge(
+    a_ts: &Timestamp,
+    a_keys: &KeySet,
+    b_ts: &Timestamp,
+    b_keys: &KeySet,
+) -> CausalRelation {
+    assert_eq!(a_ts.len(), b_ts.len(), "timestamp length mismatch");
+    if a_ts == b_ts {
+        // Distinct sends can only collide on identical stamps when the
+        // senders' entries overlap completely; call them concurrent.
+        return CausalRelation::Equal;
+    }
+    let b_covers_a = b_ts.dominates(a_ts);
+    let a_covers_b = a_ts.dominates(b_ts);
+    match (b_covers_a, a_covers_b) {
+        (true, false) => {
+            // b's stamp includes everything a's does. Require that b's
+            // view of a's *own* entries reaches a's send values — the
+            // counterpart of Algorithm 2's sender condition.
+            if a_keys.iter().all(|x| b_ts[x] >= a_ts[x]) {
+                CausalRelation::Before
+            } else {
+                CausalRelation::Concurrent
+            }
+        }
+        (false, true) => {
+            if b_keys.iter().all(|x| a_ts[x] >= b_ts[x]) {
+                CausalRelation::After
+            } else {
+                CausalRelation::Concurrent
+            }
+        }
+        _ => CausalRelation::Concurrent,
+    }
+}
+
+/// Tallies of judgment quality against ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JudgmentQuality {
+    /// Pairs truly ordered and judged ordered the right way.
+    pub ordered_correct: u64,
+    /// Pairs truly ordered but judged concurrent (never happens for
+    /// dominance-based plausible clocks; tracked to prove it).
+    pub ordered_missed: u64,
+    /// Pairs truly ordered but judged ordered the *wrong* way (must be 0
+    /// — plausibility).
+    pub ordered_reversed: u64,
+    /// Truly concurrent pairs judged concurrent.
+    pub concurrent_correct: u64,
+    /// Truly concurrent pairs judged ordered (the false positives that
+    /// shrink as R and K grow).
+    pub concurrent_false_order: u64,
+}
+
+impl JudgmentQuality {
+    /// Records one comparison: `truth` from real vector clocks, `judged`
+    /// from the probabilistic stamps.
+    pub fn record(&mut self, truth: CausalRelation, judged: CausalRelation) {
+        use CausalRelation::{After, Before, Concurrent, Equal};
+        match (truth, judged) {
+            (Before, Before) | (After, After) => self.ordered_correct += 1,
+            (Before | After, Concurrent | Equal) => self.ordered_missed += 1,
+            (Before, After) | (After, Before) => self.ordered_reversed += 1,
+            (Concurrent | Equal, Concurrent | Equal) => self.concurrent_correct += 1,
+            (Concurrent | Equal, Before | After) => self.concurrent_false_order += 1,
+        }
+    }
+
+    /// Total pairs recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.ordered_correct
+            + self.ordered_missed
+            + self.ordered_reversed
+            + self.concurrent_correct
+            + self.concurrent_false_order
+    }
+
+    /// Fraction of truly concurrent pairs judged ordered — the plausible
+    /// clock's error measure.
+    #[must_use]
+    pub fn false_order_rate(&self) -> f64 {
+        let concurrent = self.concurrent_correct + self.concurrent_false_order;
+        if concurrent == 0 {
+            0.0
+        } else {
+            self.concurrent_false_order as f64 / concurrent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KeySpace, ProbClock};
+
+    fn space() -> KeySpace {
+        KeySpace::new(8, 2).unwrap()
+    }
+
+    fn keys(entries: &[usize]) -> KeySet {
+        KeySet::from_entries(space(), entries).unwrap()
+    }
+
+    #[test]
+    fn chain_is_judged_ordered() {
+        let ka = keys(&[0, 1]);
+        let kb = keys(&[2, 3]);
+        let mut a = ProbClock::new(space());
+        let ts_a = a.stamp_send(&ka);
+        let mut b = ProbClock::new(space());
+        b.record_delivery(&ka);
+        let ts_b = b.stamp_send(&kb);
+        assert_eq!(judge(&ts_a, &ka, &ts_b, &kb), CausalRelation::Before);
+        assert_eq!(judge(&ts_b, &kb, &ts_a, &ka), CausalRelation::After);
+    }
+
+    #[test]
+    fn disjoint_concurrent_sends_judged_concurrent() {
+        let ka = keys(&[0, 1]);
+        let kb = keys(&[2, 3]);
+        let ts_a = ProbClock::new(space()).clone().stamp_send(&ka);
+        let ts_b = ProbClock::new(space()).clone().stamp_send(&kb);
+        assert_eq!(judge(&ts_a, &ka, &ts_b, &kb), CausalRelation::Concurrent);
+    }
+
+    #[test]
+    fn never_reverses_true_ordering() {
+        // Plausibility over random causal chains: a → b is never judged
+        // After.
+        use crate::{AssignmentPolicy, KeyAssigner};
+        for seed in 0..30 {
+            let mut assigner =
+                KeyAssigner::new(space(), AssignmentPolicy::UniformRandom, seed);
+            let ka = assigner.next_set().unwrap();
+            let kb = assigner.next_set().unwrap();
+            let mut a = ProbClock::new(space());
+            for _ in 0..(seed % 4) {
+                let _ = a.stamp_send(&ka);
+            }
+            let ts_a = a.stamp_send(&ka);
+            let mut b = ProbClock::new(space());
+            // b's process delivered everything a sent.
+            for _ in 0..=(seed % 4) {
+                b.record_delivery(&ka);
+            }
+            let ts_b = b.stamp_send(&kb);
+            let judged = judge(&ts_a, &ka, &ts_b, &kb);
+            assert_ne!(judged, CausalRelation::After, "seed {seed} reversed a -> b");
+            assert_ne!(judged, CausalRelation::Concurrent, "dominance must be seen");
+        }
+    }
+
+    #[test]
+    fn overlapping_concurrent_sends_can_be_false_ordered() {
+        // The covering phenomenon: concurrent senders sharing entries can
+        // produce a dominating stamp. f(a) = {0,1}, f(b) = {0,1} identical:
+        // b's second send dominates a's first.
+        let ka = keys(&[0, 1]);
+        let kb = keys(&[0, 1]);
+        let mut a = ProbClock::new(space());
+        let ts_a = a.stamp_send(&ka);
+        let mut b = ProbClock::new(space());
+        let _ = b.stamp_send(&kb);
+        let ts_b = b.stamp_send(&kb); // [2,2,...] dominates [1,1,...]
+        assert_eq!(
+            judge(&ts_a, &ka, &ts_b, &kb),
+            CausalRelation::Before,
+            "false ordering expected for fully-shared key sets"
+        );
+    }
+
+    #[test]
+    fn equal_stamps_judged_equal() {
+        let ka = keys(&[0, 1]);
+        let mut a = ProbClock::new(space());
+        let ts = a.stamp_send(&ka);
+        assert_eq!(judge(&ts, &ka, &ts.clone(), &ka), CausalRelation::Equal);
+    }
+
+    #[test]
+    fn quality_tallies() {
+        use CausalRelation::{After, Before, Concurrent};
+        let mut q = JudgmentQuality::default();
+        q.record(Before, Before);
+        q.record(After, After);
+        q.record(Concurrent, Concurrent);
+        q.record(Concurrent, Before);
+        q.record(Before, Concurrent);
+        assert_eq!(q.ordered_correct, 2);
+        assert_eq!(q.concurrent_correct, 1);
+        assert_eq!(q.concurrent_false_order, 1);
+        assert_eq!(q.ordered_missed, 1);
+        assert_eq!(q.ordered_reversed, 0);
+        assert_eq!(q.total(), 5);
+        assert!((q.false_order_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,363 @@
+//! The probabilistic `(R, K)` clock — the paper's core contribution.
+//!
+//! A [`ProbClock`] holds the local vector `V_i` of `R` counters and
+//! implements the three primitives of §4.1.2:
+//!
+//! * [`ProbClock::stamp_send`] — Algorithm 1: increment every entry in
+//!   `f(p_i)`, attach a copy of the vector to the message;
+//! * [`ProbClock::is_deliverable`] — the wait-condition of Algorithm 2:
+//!   sender entries `V_i[x] >= m.V[x] - 1`, all others `V_i[k] >= m.V[k]`;
+//! * [`ProbClock::record_delivery`] — the post-condition of Algorithm 2:
+//!   increment every entry in `f(p_j)` (increment, **not** merge — with
+//!   shared entries the two differ, see the ablation benches).
+//!
+//! The coverage test of Algorithm 4 ([`ProbClock::is_covered`]) is also
+//! here because it reads only the local vector.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{KeySet, Timestamp};
+
+/// Local state of the probabilistic causal ordering mechanism for one
+/// process: the `R`-entry counter vector `V_i`.
+///
+/// ```
+/// use pcb_clock::{KeySet, KeySpace, ProbClock};
+/// let space = KeySpace::new(4, 2)?;
+/// let f_i = KeySet::from_entries(space, &[0, 1])?;
+/// let mut clock = ProbClock::new(space);
+/// let ts = clock.stamp_send(&f_i);
+/// assert_eq!(ts.entries(), &[1, 1, 0, 0]); // paper Figure 1
+/// # Ok::<(), pcb_clock::KeyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbClock {
+    vector: Timestamp,
+}
+
+impl ProbClock {
+    /// A fresh clock (all entries zero) for the given space.
+    #[must_use]
+    pub fn new(space: crate::KeySpace) -> Self {
+        Self { vector: Timestamp::zero(space.r()) }
+    }
+
+    /// A fresh clock with an explicit vector length.
+    #[must_use]
+    pub fn with_len(r: usize) -> Self {
+        Self { vector: Timestamp::zero(r) }
+    }
+
+    /// Restores a clock from a previously captured vector (recovery,
+    /// state transfer to a joining process).
+    #[must_use]
+    pub fn from_vector(vector: Timestamp) -> Self {
+        Self { vector }
+    }
+
+    /// Vector length `R`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vector.len()
+    }
+
+    /// Whether the vector has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vector.is_empty()
+    }
+
+    /// Read-only view of the local vector `V_i`.
+    #[must_use]
+    pub fn vector(&self) -> &Timestamp {
+        &self.vector
+    }
+
+    /// **Algorithm 1.** Increments the caller's own entries `f(p_i)` and
+    /// returns the timestamp to attach to the outgoing message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `own_keys` indexes outside the vector (mismatched space).
+    pub fn stamp_send(&mut self, own_keys: &KeySet) -> Timestamp {
+        for entry in own_keys.iter() {
+            self.vector.entries_mut()[entry] += 1;
+        }
+        self.vector.clone()
+    }
+
+    /// **Algorithm 2 (guard).** Whether a message timestamped `ts` from a
+    /// sender with keys `sender_keys` is causally ready:
+    ///
+    /// * for `x ∈ f(p_j)`: `V_i[x] >= ts[x] - 1` (all of the sender's own
+    ///   earlier messages are reflected locally), and
+    /// * for `x ∉ f(p_j)`: `V_i[x] >= ts[x]` (everything the sender had
+    ///   delivered before sending is reflected locally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` has a different length than the local vector.
+    #[must_use]
+    pub fn is_deliverable(&self, ts: &Timestamp, sender_keys: &KeySet) -> bool {
+        assert_eq!(self.vector.len(), ts.len(), "timestamp length mismatch");
+        let local = self.vector.entries();
+        let remote = ts.entries();
+        // Scan all R entries with the sender-key exemption applied via a
+        // merged walk over the sorted key set.
+        let mut keys = sender_keys.iter().peekable();
+        for (index, (&mine, &theirs)) in local.iter().zip(remote).enumerate() {
+            let is_sender_entry = keys.next_if(|&k| k == index).is_some();
+            let required = if is_sender_entry { theirs.saturating_sub(1) } else { theirs };
+            if mine < required {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// **Algorithm 2 (post).** Records a delivery from a sender with keys
+    /// `sender_keys` by incrementing those entries in the local vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender_keys` indexes outside the vector.
+    pub fn record_delivery(&mut self, sender_keys: &KeySet) {
+        for entry in sender_keys.iter() {
+            self.vector.entries_mut()[entry] += 1;
+        }
+    }
+
+    /// **Algorithm 4 predicate.** Whether every sender entry of `ts` is
+    /// already matched locally (`∀x ∈ f(p_j): V_i[x] >= ts[x]`), i.e. no
+    /// entry satisfies the "exactly one behind" relation `V_i[x] = ts[x]-1`.
+    ///
+    /// When this returns `true` at delivery time, concurrent messages have
+    /// covered all of the sender's entries and the delivery *may* be a
+    /// causal-order violation; `false` guarantees it is not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` is shorter than the largest sender key.
+    #[must_use]
+    pub fn is_covered(&self, ts: &Timestamp, sender_keys: &KeySet) -> bool {
+        sender_keys.iter().all(|x| self.vector[x] >= ts[x])
+    }
+
+    /// Overwrites the local vector (anti-entropy / recovery hook).
+    pub fn reset_to(&mut self, vector: Timestamp) {
+        self.vector = vector;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KeySpace, Timestamp};
+
+    fn space4x2() -> crate::KeySpace {
+        KeySpace::new(4, 2).unwrap()
+    }
+
+    fn keys(entries: &[usize]) -> KeySet {
+        KeySet::from_entries(space4x2(), entries).unwrap()
+    }
+
+    #[test]
+    fn figure1_nominal_scenario() {
+        // Paper Figure 1: R = 4, K = 2, f(p_i) = {0,1}, f(p_j) = {1,2}.
+        let f_i = keys(&[0, 1]);
+        let f_j = keys(&[1, 2]);
+
+        let mut pi = ProbClock::new(space4x2());
+        let mut pj = ProbClock::new(space4x2());
+        let mut pk = ProbClock::new(space4x2());
+
+        // p_i broadcasts m.
+        let m = pi.stamp_send(&f_i);
+        assert_eq!(m.entries(), &[1, 1, 0, 0]);
+
+        // p_j receives m first: deliverable, vector becomes [1,1,0,0].
+        assert!(pj.is_deliverable(&m, &f_i));
+        pj.record_delivery(&f_i);
+        assert_eq!(pj.vector().entries(), &[1, 1, 0, 0]);
+
+        // p_j broadcasts m' -> [1,2,1,0].
+        let m_prime = pj.stamp_send(&f_j);
+        assert_eq!(m_prime.entries(), &[1, 2, 1, 0]);
+
+        // p_k receives m' before m: delayed.
+        assert!(!pk.is_deliverable(&m_prime, &f_j));
+
+        // m arrives: deliverable; after it, m' becomes deliverable.
+        assert!(pk.is_deliverable(&m, &f_i));
+        pk.record_delivery(&f_i);
+        assert_eq!(pk.vector().entries(), &[1, 1, 0, 0]);
+        assert!(pk.is_deliverable(&m_prime, &f_j));
+        pk.record_delivery(&f_j);
+        assert_eq!(pk.vector().entries(), &[1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn figure2_delivery_error_scenario() {
+        // Figure 2 adds p_1 (f = {0,3}) and p_2 (f = {1,3}) whose
+        // concurrent messages cover f(p_i) = {0,1} and let m' slip past m.
+        let f_i = keys(&[0, 1]);
+        let f_j = keys(&[1, 2]);
+        let f_1 = keys(&[0, 3]);
+        let f_2 = keys(&[1, 3]);
+
+        let mut pi = ProbClock::new(space4x2());
+        let mut pj = ProbClock::new(space4x2());
+        let mut p1 = ProbClock::new(space4x2());
+        let mut p2 = ProbClock::new(space4x2());
+        let mut pk = ProbClock::new(space4x2());
+
+        let m = pi.stamp_send(&f_i);
+        pj.record_delivery(&f_i); // p_j delivered m
+        let m_prime = pj.stamp_send(&f_j);
+        let m1 = p1.stamp_send(&f_1);
+        let m2 = p2.stamp_send(&f_2);
+
+        // p_k receives m2 then m1 (both concurrent with m).
+        assert!(pk.is_deliverable(&m2, &f_2));
+        pk.record_delivery(&f_2);
+        assert!(pk.is_deliverable(&m1, &f_1));
+        pk.record_delivery(&f_1);
+        assert_eq!(pk.vector().entries(), &[1, 1, 0, 2]);
+
+        // m' now (wrongly) looks deliverable although m was never received.
+        assert!(pk.is_deliverable(&m_prime, &f_j));
+
+        // Algorithm 4 raises the alert: all f(p_j) entries of m' are NOT
+        // exactly-one-behind... the alert fires when every sender entry is
+        // already matched. Here V_k[1]=1 = m'.V[1]-1, so no alert for m'
+        // itself; the alert fires for the *late* message m when it arrives.
+        pk.record_delivery(&f_j);
+        assert!(pk.is_covered(&m, &f_i), "late m arrives fully covered -> alert");
+    }
+
+    #[test]
+    fn initial_message_deliverable_everywhere() {
+        // Lemma 1 base case H0: messages stamped from the initial state
+        // are deliverable by any fresh process.
+        let space = KeySpace::new(8, 3).unwrap();
+        for id in 0..space.combination_count().min(56) {
+            let k = KeySet::from_set_id(space, id).unwrap();
+            let mut sender = ProbClock::new(space);
+            let ts = sender.stamp_send(&k);
+            let receiver = ProbClock::new(space);
+            assert!(receiver.is_deliverable(&ts, &k));
+        }
+    }
+
+    #[test]
+    fn second_message_blocked_until_first_delivered() {
+        let space = space4x2();
+        let f = keys(&[1, 2]);
+        let mut sender = ProbClock::new(space);
+        let ts1 = sender.stamp_send(&f);
+        let ts2 = sender.stamp_send(&f);
+
+        let mut receiver = ProbClock::new(space);
+        assert!(!receiver.is_deliverable(&ts2, &f), "FIFO gap must block");
+        assert!(receiver.is_deliverable(&ts1, &f));
+        receiver.record_delivery(&f);
+        assert!(receiver.is_deliverable(&ts2, &f));
+    }
+
+    #[test]
+    fn causally_ready_message_never_delayed() {
+        // Corollary 1: if everything in the causal past is delivered, the
+        // message is immediately deliverable.
+        let space = KeySpace::new(6, 2).unwrap();
+        let fa = KeySet::from_entries(space, &[0, 1]).unwrap();
+        let fb = KeySet::from_entries(space, &[2, 3]).unwrap();
+        let mut a = ProbClock::new(space);
+        let mut b = ProbClock::new(space);
+        let mut c = ProbClock::new(space);
+
+        let m1 = a.stamp_send(&fa);
+        b.record_delivery(&fa);
+        let m2 = b.stamp_send(&fb);
+
+        assert!(c.is_deliverable(&m1, &fa));
+        c.record_delivery(&fa);
+        assert!(c.is_deliverable(&m2, &fb), "causal past delivered => ready");
+    }
+
+    #[test]
+    fn is_covered_detects_exact_match() {
+        let space = space4x2();
+        let f = keys(&[0, 1]);
+        let mut sender = ProbClock::new(space);
+        let ts = sender.stamp_send(&f);
+
+        let mut receiver = ProbClock::new(space);
+        assert!(!receiver.is_covered(&ts, &f), "fresh receiver is one behind");
+        receiver.record_delivery(&f);
+        assert!(receiver.is_covered(&ts, &f), "after delivery, entries match");
+    }
+
+    #[test]
+    fn lamport_configuration_degenerates() {
+        // (R, K) = (1, 1): every send bumps the same counter, so a second
+        // message from anyone is blocked until the first is delivered.
+        let space = KeySpace::lamport();
+        let f = KeySet::from_set_id(space, 0).unwrap();
+        let mut a = ProbClock::new(space);
+        let m1 = a.stamp_send(&f);
+        let m2 = a.stamp_send(&f);
+        let mut rx = ProbClock::new(space);
+        assert!(rx.is_deliverable(&m1, &f));
+        assert!(!rx.is_deliverable(&m2, &f));
+        rx.record_delivery(&f);
+        assert!(rx.is_deliverable(&m2, &f));
+    }
+
+    #[test]
+    fn vector_configuration_is_exact() {
+        // (R, K) = (N, 1) with distinct entries: no covering is possible,
+        // so the Figure-2 interleaving cannot produce a wrong delivery.
+        let n = 5;
+        let space = KeySpace::vector(n).unwrap();
+        let f: Vec<KeySet> =
+            (0..n).map(|i| KeySet::singleton(space, i).unwrap()).collect();
+
+        let mut pi = ProbClock::new(space);
+        let mut pj = ProbClock::new(space);
+        let mut p1 = ProbClock::new(space);
+        let mut p2 = ProbClock::new(space);
+        let mut pk = ProbClock::new(space);
+
+        let m = pi.stamp_send(&f[0]);
+        pj.record_delivery(&f[0]);
+        let m_prime = pj.stamp_send(&f[1]);
+        let m1 = p1.stamp_send(&f[2]);
+        let m2 = p2.stamp_send(&f[3]);
+
+        pk.record_delivery(&f[3]);
+        let _ = m2;
+        pk.record_delivery(&f[2]);
+        let _ = m1;
+        assert!(
+            !pk.is_deliverable(&m_prime, &f[1]),
+            "vector configuration must block m' until m is delivered"
+        );
+        assert!(pk.is_deliverable(&m, &f[0]));
+    }
+
+    #[test]
+    fn from_vector_restores_state() {
+        let ts = Timestamp::from_entries(vec![3, 1, 4]);
+        let clock = ProbClock::from_vector(ts.clone());
+        assert_eq!(clock.vector(), &ts);
+        assert_eq!(clock.len(), 3);
+    }
+
+    #[test]
+    fn reset_to_overwrites() {
+        let mut clock = ProbClock::with_len(3);
+        clock.reset_to(Timestamp::from_entries(vec![9, 9, 9]));
+        assert_eq!(clock.vector().entries(), &[9, 9, 9]);
+    }
+}

@@ -1,0 +1,181 @@
+//! The `R`-entry integer timestamps carried by messages (`m.V`).
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+/// The vector of integer counters attached to every broadcast message.
+///
+/// Unlike a classical vector clock, entries do not map one-to-one to
+/// processes: with the probabilistic clock, each entry is shared by many
+/// processes and each process owns several entries.
+///
+/// ```
+/// use pcb_clock::Timestamp;
+/// let ts = Timestamp::from_entries(vec![1, 2, 0, 0]);
+/// assert_eq!(ts.len(), 4);
+/// assert_eq!(ts[1], 2);
+/// assert_eq!(ts.to_string(), "[1,2,0,0]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Timestamp {
+    entries: Vec<u64>,
+}
+
+impl Timestamp {
+    /// An all-zero timestamp of length `r` (the initial-state vector).
+    #[must_use]
+    pub fn zero(r: usize) -> Self {
+        Self { entries: vec![0; r] }
+    }
+
+    /// Wraps raw entries.
+    #[must_use]
+    pub fn from_entries(entries: Vec<u64>) -> Self {
+        Self { entries }
+    }
+
+    /// Number of entries, `R`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector has no entries (degenerate, `R = 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Immutable view of the entries.
+    #[must_use]
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Entry accessor with bounds checking.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<u64> {
+        self.entries.get(index).copied()
+    }
+
+    /// Sum of all entries — total send events reflected in the stamp.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+
+    /// Component-wise `self >= other` (vector dominance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two timestamps have different lengths — mixing clock
+    /// configurations is a programming error.
+    #[must_use]
+    pub fn dominates(&self, other: &Timestamp) -> bool {
+        assert_eq!(self.len(), other.len(), "timestamp length mismatch");
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a >= b)
+    }
+
+    /// Component-wise maximum, in place. Used by the merge-variant ablation
+    /// and by the simulator's ε-estimator oracle, *not* by the paper's
+    /// delivery rule (which increments, see `ProbClock::record_delivery`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn merge_max(&mut self, other: &Timestamp) {
+        assert_eq!(self.len(), other.len(), "timestamp length mismatch");
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Serialized wire size in bytes (entries as fixed 8-byte integers) —
+    /// the control-information overhead the paper sets out to shrink.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<u64>()
+    }
+
+    pub(crate) fn entries_mut(&mut self) -> &mut [u64] {
+        &mut self.entries
+    }
+}
+
+impl Index<usize> for Timestamp {
+    type Output = u64;
+
+    fn index(&self, index: usize) -> &u64 {
+        &self.entries[index]
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<u64> for Timestamp {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Self { entries: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_all_zero() {
+        let ts = Timestamp::zero(4);
+        assert_eq!(ts.entries(), &[0, 0, 0, 0]);
+        assert_eq!(ts.total(), 0);
+        assert!(!ts.is_empty());
+        assert!(Timestamp::zero(0).is_empty());
+    }
+
+    #[test]
+    fn dominance() {
+        let a = Timestamp::from_entries(vec![2, 1, 3]);
+        let b = Timestamp::from_entries(vec![1, 1, 3]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(a.dominates(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp length mismatch")]
+    fn dominance_length_mismatch_panics() {
+        let a = Timestamp::zero(2);
+        let b = Timestamp::zero(3);
+        let _ = a.dominates(&b);
+    }
+
+    #[test]
+    fn merge_max_componentwise() {
+        let mut a = Timestamp::from_entries(vec![2, 0, 3]);
+        let b = Timestamp::from_entries(vec![1, 5, 3]);
+        a.merge_max(&b);
+        assert_eq!(a.entries(), &[2, 5, 3]);
+    }
+
+    #[test]
+    fn accessors() {
+        let ts: Timestamp = [4u64, 5, 6].into_iter().collect();
+        assert_eq!(ts.get(1), Some(5));
+        assert_eq!(ts.get(3), None);
+        assert_eq!(ts[2], 6);
+        assert_eq!(ts.total(), 15);
+        assert_eq!(ts.wire_size(), 24);
+    }
+}

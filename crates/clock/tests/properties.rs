@@ -1,0 +1,281 @@
+//! Property-based tests for the clock substrate.
+
+use pcb_clock::{
+    binomial, compare::judge, rank, unrank, AssignmentPolicy, KeyAssigner, KeySet, KeySpace,
+    ProbClock, ProcessId, Timestamp, VectorClock,
+};
+use proptest::prelude::*;
+
+/// Strategy: a valid (r, k) space with r <= 24.
+fn space_strategy() -> impl Strategy<Value = KeySpace> {
+    (1usize..=24).prop_flat_map(|r| {
+        (Just(r), 1usize..=r).prop_map(|(r, k)| KeySpace::new(r, k).expect("valid space"))
+    })
+}
+
+/// Strategy: a space plus a valid set id in it.
+fn space_and_id() -> impl Strategy<Value = (KeySpace, u128)> {
+    space_strategy().prop_flat_map(|space| {
+        let total = space.combination_count();
+        (Just(space), 0..total)
+    })
+}
+
+proptest! {
+    #[test]
+    fn unrank_then_rank_is_identity((space, id) in space_and_id()) {
+        let combo = unrank(id, space.r(), space.k()).unwrap();
+        prop_assert_eq!(rank(&combo, space.r()).unwrap(), id);
+    }
+
+    #[test]
+    fn unranked_combination_is_well_formed((space, id) in space_and_id()) {
+        let combo = unrank(id, space.r(), space.k()).unwrap();
+        prop_assert_eq!(combo.len(), space.k());
+        prop_assert!(combo.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(combo.iter().all(|&e| e < space.r()));
+    }
+
+    #[test]
+    fn unrank_is_order_preserving((space, id) in space_and_id()) {
+        // Lexicographic order on combinations follows rank order.
+        if id > 0 {
+            let prev = unrank(id - 1, space.r(), space.k()).unwrap();
+            let cur = unrank(id, space.r(), space.k()).unwrap();
+            prop_assert!(prev < cur);
+        }
+    }
+
+    #[test]
+    fn binomial_pascal_recurrence(n in 1u64..80, k in 1u64..80) {
+        prop_assume!(k < n);
+        let lhs = binomial(n, k);
+        let rhs = binomial(n - 1, k - 1)
+            .zip(binomial(n - 1, k))
+            .map(|(a, b)| a + b);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn distinct_key_sets_overlap_below_k(
+        (space, id) in space_and_id(),
+        offset in 1u128..1000,
+    ) {
+        let total = space.combination_count();
+        prop_assume!(total > 1);
+        let other_id = (id + offset) % total;
+        prop_assume!(other_id != id);
+        let a = KeySet::from_set_id(space, id).unwrap();
+        let b = KeySet::from_set_id(space, other_id).unwrap();
+        prop_assert!(a.overlap(&b) < space.k());
+    }
+
+    #[test]
+    fn stamp_send_monotonically_increases((space, id) in space_and_id(), sends in 1usize..20) {
+        let keys = KeySet::from_set_id(space, id).unwrap();
+        let mut clock = ProbClock::new(space);
+        let mut prev = Timestamp::zero(space.r());
+        for _ in 0..sends {
+            let ts = clock.stamp_send(&keys);
+            prop_assert!(ts.dominates(&prev));
+            prop_assert!(ts != prev, "send must strictly advance the stamp");
+            prev = ts;
+        }
+        prop_assert_eq!(prev.total() as usize, sends * space.k());
+    }
+
+    #[test]
+    fn own_messages_deliver_in_fifo_order((space, id) in space_and_id(), sends in 2usize..10) {
+        let keys = KeySet::from_set_id(space, id).unwrap();
+        let mut sender = ProbClock::new(space);
+        let stamps: Vec<_> = (0..sends).map(|_| sender.stamp_send(&keys)).collect();
+        let mut rx = ProbClock::new(space);
+        for (i, ts) in stamps.iter().enumerate() {
+            // All later messages blocked, this one ready.
+            for later in &stamps[i + 1..] {
+                prop_assert!(!rx.is_deliverable(later, &keys));
+            }
+            prop_assert!(rx.is_deliverable(ts, &keys));
+            rx.record_delivery(&keys);
+        }
+    }
+
+    #[test]
+    fn causally_ready_never_delayed_chain(
+        space in space_strategy(),
+        seed in 0u64..1000,
+        chain_len in 1usize..12,
+    ) {
+        // Corollary 1 along an arbitrary relay chain: each process delivers
+        // everything so far, then sends; a fresh observer delivering in
+        // chain order is never blocked.
+        let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, seed);
+        let keys: Vec<KeySet> = (0..chain_len).map(|_| assigner.next_set().unwrap()).collect();
+        let mut stamps = Vec::new();
+        let mut relay_clocks: Vec<ProbClock> =
+            (0..chain_len).map(|_| ProbClock::new(space)).collect();
+        for i in 0..chain_len {
+            // Process i first delivers all prior messages (causal past).
+            for j in 0..i {
+                let _ = &stamps[j];
+                relay_clocks[i].record_delivery(&keys[j]);
+            }
+            stamps.push(relay_clocks[i].stamp_send(&keys[i]));
+        }
+        let mut observer = ProbClock::new(space);
+        for (ts, k) in stamps.iter().zip(&keys) {
+            prop_assert!(observer.is_deliverable(ts, k), "chain delivery must not block");
+            observer.record_delivery(k);
+        }
+    }
+
+    #[test]
+    fn vector_clock_compare_is_antisymmetric(
+        a in proptest::collection::vec(0u64..5, 1..8),
+    ) {
+        let n = a.len();
+        let va = VectorClock::from_counters(a.clone());
+        let mut b = a;
+        b[0] += 1;
+        let vb = VectorClock::from_counters(b);
+        use pcb_clock::CausalRelation::*;
+        prop_assert_eq!(va.compare(&vb), Before);
+        prop_assert_eq!(vb.compare(&va), After);
+        let _ = n;
+    }
+
+    #[test]
+    fn vector_baseline_never_violates_causality(
+        seed in 0u64..500,
+        n in 2usize..6,
+        rounds in 1usize..12,
+    ) {
+        // Randomized schedule: processes send; a receiver buffers arrivals
+        // in a scrambled order and delivers under the vector-clock guard.
+        // Delivered order must respect happened-before.
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut clocks: Vec<VectorClock> = (0..n).map(|_| VectorClock::new(n)).collect();
+        let mut messages: Vec<(ProcessId, VectorClock)> = Vec::new();
+        for _ in 0..rounds {
+            let s = rng.random_range(0..n);
+            // The sender first (maybe) delivers some existing messages.
+            for (pid, ts) in &messages {
+                if rng.random_bool(0.5) && clocks[s].is_deliverable(ts, *pid) {
+                    let ts = ts.clone();
+                    let pid = *pid;
+                    clocks[s].record_delivery(&ts, pid);
+                }
+            }
+            let ts = clocks[s].stamp_send(ProcessId::new(s));
+            messages.push((ProcessId::new(s), ts));
+        }
+        // Scrambled receiver: repeatedly pick a random deliverable message.
+        let mut rx = VectorClock::new(n);
+        let mut pending: Vec<(ProcessId, VectorClock)> = messages.clone();
+        let mut delivered: Vec<VectorClock> = Vec::new();
+        while !pending.is_empty() {
+            let ready: Vec<usize> = (0..pending.len())
+                .filter(|&i| rx.is_deliverable(&pending[i].1, pending[i].0))
+                .collect();
+            prop_assert!(!ready.is_empty(), "liveness: some message must be ready");
+            let pick = ready[rng.random_range(0..ready.len())];
+            let (pid, ts) = pending.swap_remove(pick);
+            rx.record_delivery(&ts, pid);
+            delivered.push(ts);
+        }
+        // Safety: delivery order extends happened-before.
+        use pcb_clock::CausalRelation;
+        for i in 0..delivered.len() {
+            for j in i + 1..delivered.len() {
+                prop_assert!(
+                    delivered[i].compare(&delivered[j]) != CausalRelation::After,
+                    "later-delivered message happened before an earlier one"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn judge_is_plausible_on_guarded_histories(
+        space in space_strategy(),
+        seed in 0u64..2000,
+        n in 2usize..6,
+        rounds in 2usize..15,
+    ) {
+        // Random history where deliveries always pass the protocol guard;
+        // the plausible judgment must never reverse a true ordering and
+        // must order every truly related pair.
+        use pcb_clock::CausalRelation;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, seed);
+        let keys: Vec<KeySet> = (0..n).map(|_| assigner.next_set().unwrap()).collect();
+        let mut prob: Vec<ProbClock> = (0..n).map(|_| ProbClock::new(space)).collect();
+        let mut truth: Vec<VectorClock> = (0..n).map(|_| VectorClock::new(n)).collect();
+        let mut delivered: Vec<Vec<bool>> = vec![Vec::new(); n];
+        let mut msgs: Vec<(usize, Timestamp, VectorClock)> = Vec::new();
+
+        for _ in 0..rounds {
+            let s = rng.random_range(0..n);
+            for idx in 0..msgs.len() {
+                let (origin, ref ts, ref tvc) = msgs[idx];
+                if delivered[s].len() <= idx {
+                    delivered[s].push(false);
+                }
+                if origin != s
+                    && !delivered[s][idx]
+                    && rng.random_bool(0.5)
+                    && prob[s].is_deliverable(ts, &keys[origin])
+                {
+                    prob[s].record_delivery(&keys[origin]);
+                    truth[s].record_delivery(&tvc.clone(), ProcessId::new(origin));
+                    delivered[s][idx] = true;
+                }
+            }
+            let ts = prob[s].stamp_send(&keys[s]);
+            let tvc = truth[s].stamp_send(ProcessId::new(s));
+            msgs.push((s, ts, tvc));
+            for d in &mut delivered {
+                d.resize(msgs.len(), false);
+            }
+            let last = msgs.len() - 1;
+            delivered[s][last] = true;
+        }
+
+        for i in 0..msgs.len() {
+            for j in i + 1..msgs.len() {
+                let (ai, ref ts_i, ref tvc_i) = msgs[i];
+                let (aj, ref ts_j, ref tvc_j) = msgs[j];
+                let truth_rel = tvc_i.compare(tvc_j);
+                let judged = judge(ts_i, &keys[ai], ts_j, &keys[aj]);
+                match truth_rel {
+                    CausalRelation::Before => prop_assert_eq!(
+                        judged, CausalRelation::Before,
+                        "true order i->j must be judged Before"
+                    ),
+                    CausalRelation::After => prop_assert_eq!(
+                        judged, CausalRelation::After,
+                        "true order j->i must be judged After"
+                    ),
+                    // Concurrent pairs may be judged anything except... any
+                    // verdict is plausible; nothing to assert.
+                    CausalRelation::Concurrent | CausalRelation::Equal => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covered_by_union_is_monotone((space, id) in space_and_id(), seed in 0u64..100) {
+        // Adding more sets to the union never un-covers a key set.
+        let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, seed);
+        let target = KeySet::from_set_id(space, id).unwrap();
+        let others: Vec<KeySet> = (0..4).map(|_| assigner.next_set().unwrap()).collect();
+        for cut in 0..others.len() {
+            if target.covered_by(others.iter().take(cut)) {
+                prop_assert!(target.covered_by(others.iter().take(cut + 1)));
+            }
+        }
+    }
+}

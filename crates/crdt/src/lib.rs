@@ -1,0 +1,47 @@
+//! Operation-based CRDTs over probabilistic causal broadcast — the
+//! application layer the paper's introduction motivates (§1: replicated
+//! data structures "have an underlying requirement: causally ordered
+//! communication").
+//!
+//! Three datatypes span the requirement spectrum:
+//!
+//! * [`OrSet`] — observed-remove set: removes must follow the adds they
+//!   observed; causal delivery makes "add wins" hold and replicas
+//!   converge.
+//! * [`Rga`] — replicated growable array (collaborative text): inserts
+//!   reference their parent element; causal delivery guarantees the
+//!   parent exists.
+//! * [`Counter`] — PN-counter: fully commutative, needs **no** ordering —
+//!   the honest contrast case.
+//!
+//! [`Replica`] wires any of them to a
+//! [`pcb_broadcast::PcbProcess`] endpoint so operations ride the paper's
+//! constant-size timestamps.
+//!
+//! ```
+//! use pcb_crdt::{OrSet, Replica};
+//! use pcb_clock::{AssignmentPolicy, KeyAssigner, KeySpace, ProcessId};
+//!
+//! let space = KeySpace::new(100, 4)?;
+//! let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, 1);
+//! let mut alice = Replica::new(ProcessId::new(0), assigner.next_set()?, OrSet::new(1));
+//! let mut bob = Replica::new(ProcessId::new(1), assigner.next_set()?, OrSet::new(2));
+//!
+//! let add = alice.update(|s| Some(s.add("shared state"))).expect("op");
+//! bob.on_receive(add, 0);
+//! assert!(bob.state().contains(&"shared state"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod orset;
+pub mod replica;
+pub mod rga;
+
+pub use counter::{Counter, CounterOp};
+pub use orset::{OrSet, OrSetOp, Tag};
+pub use replica::{OpBased, Replica};
+pub use rga::{ElemId, Rga, RgaOp, HEAD};

@@ -1,0 +1,212 @@
+//! Cluster orchestration: spawn `N` live nodes plus the latency router.
+
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+use pcb_broadcast::PcbConfig;
+use pcb_clock::{AssignmentPolicy, KeyAssigner, KeySpace, ProcessId};
+
+use crate::node::{spawn_node, NodeHandle, RecoveryConfig};
+use crate::transport::{spawn_router, LatencyModel, RouterMsg};
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// The `(R, K)` clock configuration.
+    pub space: KeySpace,
+    /// Key assignment policy.
+    pub policy: AssignmentPolicy,
+    /// Transport delay model.
+    pub latency: LatencyModel,
+    /// Per-endpoint protocol options.
+    pub process: PcbConfig,
+    /// Anti-entropy recovery; `None` disables it (lossless transports
+    /// don't need it).
+    pub recovery: Option<RecoveryConfig>,
+    /// Seed for key assignment and transport randomness.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A small cluster with the paper's clock shape scaled down and the
+    /// fast latency model — convenient for demos and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn quick(n: usize) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        Self {
+            n,
+            space: KeySpace::new(16, 2).expect("static space is valid"),
+            policy: AssignmentPolicy::UniformRandom,
+            latency: LatencyModel::fast(),
+            process: PcbConfig::default(),
+            recovery: None,
+            seed: 1,
+        }
+    }
+
+    /// A lossy cluster with anti-entropy recovery enabled — demonstrates
+    /// the §4.2 recovery story end to end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `loss` is outside `[0, 1)`.
+    #[must_use]
+    pub fn lossy_with_recovery(n: usize, loss: f64) -> Self {
+        Self {
+            latency: LatencyModel::lossy(loss),
+            recovery: Some(RecoveryConfig::default()),
+            ..Self::quick(n)
+        }
+    }
+
+    /// Exact configuration: `(N, 1)` space with one distinct entry per
+    /// node — vector-clock behaviour, zero causal violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn exact(n: usize) -> Self {
+        Self {
+            space: KeySpace::vector(n).expect("n >= 1"),
+            policy: AssignmentPolicy::RoundRobin,
+            ..Self::quick(n)
+        }
+    }
+}
+
+/// Errors starting a cluster.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Key assignment failed.
+    Assignment(pcb_clock::AssignmentError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Assignment(e) => write!(f, "cluster key assignment failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Assignment(e) => Some(e),
+        }
+    }
+}
+
+/// A running cluster of live nodes connected by the in-memory transport.
+///
+/// ```no_run
+/// use pcb_runtime::{Cluster, ClusterConfig};
+///
+/// let cluster = Cluster::<String>::start(ClusterConfig::quick(4))?;
+/// cluster.node(0).broadcast("hello".to_string()).unwrap();
+/// let delivery = cluster.node(1).deliveries().recv()?;
+/// assert_eq!(delivery.message.payload(), "hello");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Cluster<P: Send + Clone + 'static> {
+    nodes: Vec<NodeHandle<P>>,
+    router_tx: crossbeam::channel::Sender<RouterMsg<P>>,
+    router_join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<P: Send + Clone + 'static> Cluster<P> {
+    /// Spawns `config.n` node threads and the router.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Assignment`] if key assignment fails (e.g. the
+    /// distinct policy over a too-small space).
+    pub fn start(config: ClusterConfig) -> Result<Self, ClusterError> {
+        let mut assigner = KeyAssigner::new(config.space, config.policy, config.seed);
+        let keys = assigner.assign_n(config.n).map_err(ClusterError::Assignment)?;
+
+        let (router_tx, router_rx) = unbounded::<RouterMsg<P>>();
+        let epoch = Instant::now();
+
+        let mut nodes = Vec::with_capacity(config.n);
+        let mut inbox_senders = Vec::with_capacity(config.n);
+        for (i, key_set) in keys.into_iter().enumerate() {
+            let (handle, cmd_tx) = spawn_node(
+                ProcessId::new(i),
+                key_set,
+                config.process.clone(),
+                config.recovery,
+                epoch,
+                router_tx.clone(),
+            );
+            nodes.push(handle);
+            inbox_senders.push(cmd_tx);
+        }
+
+        // The router feeds node command queues directly.
+        let router_join = spawn_router(
+            router_rx,
+            inbox_senders,
+            config.latency,
+            config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+        );
+
+        Ok(Self { nodes, router_tx, router_join: Some(router_join) })
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Handle to node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn node(&self, i: usize) -> &NodeHandle<P> {
+        &self.nodes[i]
+    }
+
+    /// Iterates over all node handles.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeHandle<P>> {
+        self.nodes.iter()
+    }
+
+    /// Stops every node and the router, joining all threads.
+    pub fn shutdown(mut self) {
+        for node in &mut self.nodes {
+            node.shutdown();
+        }
+        let _ = self.router_tx.send(RouterMsg::Shutdown);
+        if let Some(join) = self.router_join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl<P: Send + Clone + 'static> Drop for Cluster<P> {
+    fn drop(&mut self) {
+        let _ = self.router_tx.send(RouterMsg::Shutdown);
+        if let Some(join) = self.router_join.take() {
+            let _ = join.join();
+        }
+        // NodeHandle::drop shuts each node down.
+    }
+}

@@ -1,0 +1,31 @@
+//! Live threaded runtime for probabilistic causal broadcast.
+//!
+//! Where `pcb-sim` evaluates the protocol under a controlled virtual
+//! clock, this crate runs it for real: each node is a thread owning a
+//! [`pcb_broadcast::PcbProcess`], connected through an in-memory transport
+//! whose router injects the paper's Gaussian delay + skew model into
+//! actual wall-clock scheduling. Use it to demo applications (chat,
+//! collaborative editing) on top of the causal ordering layer.
+//!
+//! ```no_run
+//! use pcb_runtime::{Cluster, ClusterConfig};
+//!
+//! // Four nodes with exact (vector-equivalent) clocks.
+//! let cluster = Cluster::<String>::start(ClusterConfig::exact(4))?;
+//! cluster.node(0).broadcast("first".to_string()).unwrap();
+//! let d = cluster.node(2).deliveries().recv()?;
+//! println!("node 2 got {:?}", d.message.payload());
+//! cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod node;
+pub mod transport;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterError};
+pub use node::{NodeHandle, NodeStatus, RecoveryConfig};
+pub use transport::LatencyModel;

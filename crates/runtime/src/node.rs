@@ -1,0 +1,294 @@
+//! A live node: one thread running a [`PcbProcess`] event loop with an
+//! optional anti-entropy recovery layer.
+
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use pcb_broadcast::{Delivery, Message, MessageId, MessageStore, PcbConfig, PcbProcess, SyncRequest};
+use pcb_clock::{KeySet, ProcessId, Timestamp};
+
+use crate::transport::RouterMsg;
+
+/// Anti-entropy settings for a live node (paper §4.2: the detectors tell
+/// *when* recovery is needed; this layer performs it).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// A pending message older than this triggers a sync request — use a
+    /// few propagation delays.
+    pub stale_after: Duration,
+    /// How often the node checks for staleness when idle.
+    pub poll_every: Duration,
+    /// How long delivered/own messages are retained for peers.
+    pub store_window: Duration,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            stale_after: Duration::from_millis(100),
+            poll_every: Duration::from_millis(25),
+            store_window: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Commands accepted by a node's event loop.
+pub(crate) enum Command<P> {
+    /// A message arriving from the transport.
+    Incoming(Message<P>),
+    /// Application request to broadcast a payload.
+    Broadcast(P),
+    /// A peer asks for messages it is missing.
+    SyncRequest {
+        /// The requesting node.
+        from: ProcessId,
+        /// Ids the requester already holds.
+        known: Vec<MessageId>,
+    },
+    /// Missing messages arriving from a peer's store.
+    SyncResponse(Vec<Message<P>>),
+    /// Snapshot request.
+    Query(Sender<NodeStatus>),
+    /// Stop the event loop.
+    Shutdown,
+}
+
+/// Point-in-time view of a node's protocol state.
+#[derive(Debug, Clone)]
+pub struct NodeStatus {
+    /// Lifetime protocol counters.
+    pub stats: pcb_broadcast::ProcessStats,
+    /// Messages buffered awaiting their causal past.
+    pub pending: usize,
+    /// Snapshot of the local clock vector.
+    pub clock: Timestamp,
+    /// Sync requests this node has issued.
+    pub sync_requests: u64,
+    /// Deliveries unblocked by anti-entropy responses (the replayed
+    /// messages plus any pending cascade they released).
+    pub recovered: u64,
+}
+
+/// Handle to a running node: broadcast payloads, consume deliveries,
+/// query state. Dropping the handle shuts the node down.
+#[derive(Debug)]
+pub struct NodeHandle<P> {
+    id: ProcessId,
+    cmd_tx: Sender<Command<P>>,
+    deliveries: Receiver<Delivery<P>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl<P: Send + 'static> NodeHandle<P> {
+    /// This node's process id.
+    #[must_use]
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Requests a causal broadcast of `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the payload back if the node has already shut down.
+    pub fn broadcast(&self, payload: P) -> Result<(), P> {
+        self.cmd_tx.send(Command::Broadcast(payload)).map_err(|e| match e.into_inner() {
+            Command::Broadcast(p) => p,
+            _ => unreachable!("we sent a Broadcast"),
+        })
+    }
+
+    /// Stream of deliveries in causal (protocol) order.
+    #[must_use]
+    pub fn deliveries(&self) -> &Receiver<Delivery<P>> {
+        &self.deliveries
+    }
+
+    /// Snapshot of protocol state (blocks for the node's next loop turn).
+    #[must_use]
+    pub fn status(&self) -> Option<NodeStatus> {
+        let (tx, rx) = bounded(1);
+        self.cmd_tx.send(Command::Query(tx)).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Stops the node and joins its thread.
+    pub fn shutdown(&mut self) {
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl<P> Drop for NodeHandle<P> {
+    fn drop(&mut self) {
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+struct NodeLoop<P> {
+    id: ProcessId,
+    process: PcbProcess<P>,
+    store: MessageStore<P>,
+    recovery: Option<RecoveryConfig>,
+    epoch: Instant,
+    router_tx: Sender<RouterMsg<P>>,
+    delivery_tx: Sender<Delivery<P>>,
+    sync_requests: u64,
+    recovered: u64,
+    sync_in_flight: bool,
+}
+
+impl<P: Send + Clone + 'static> NodeLoop<P> {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Delivers through the endpoint, retaining copies for peers.
+    fn accept(&mut self, message: Message<P>, recovered: bool) -> bool {
+        let now = self.now_ms();
+        let deliveries = self.process.on_receive(message, now);
+        let any = !deliveries.is_empty();
+        for delivery in deliveries {
+            self.store.insert(now, delivery.message.clone());
+            self.recovered += u64::from(recovered);
+            // The application may have dropped its stream; keep going.
+            let _ = self.delivery_tx.send(delivery);
+        }
+        any
+    }
+
+    /// Issues a sync request if something has been pending too long.
+    fn maybe_request_sync(&mut self) {
+        let Some(recovery) = self.recovery else { return };
+        if self.sync_in_flight {
+            return;
+        }
+        let stale_ms = recovery.stale_after.as_millis() as u64;
+        let now = self.now_ms();
+        if self.process.oldest_pending_age(now).is_some_and(|age| age >= stale_ms) {
+            let known: Vec<MessageId> = self.process.seen_ids().collect();
+            if self
+                .router_tx
+                .send(RouterMsg::SyncRequest { from: self.id, known })
+                .is_ok()
+            {
+                self.sync_requests += 1;
+                self.sync_in_flight = true;
+            }
+        }
+    }
+
+    fn run(mut self, cmd_rx: &Receiver<Command<P>>) {
+        let idle = self
+            .recovery
+            .map_or(Duration::from_secs(3600), |r| r.poll_every);
+        loop {
+            let cmd = match cmd_rx.recv_timeout(idle) {
+                Ok(cmd) => cmd,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.maybe_request_sync();
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            // Staleness is checked on every loop turn: a busy inbox (e.g.
+            // frequent status queries) must not suppress recovery.
+            self.maybe_request_sync();
+            match cmd {
+                Command::Incoming(message) => {
+                    self.accept(message, false);
+                    self.maybe_request_sync();
+                }
+                Command::Broadcast(payload) => {
+                    let message = self.process.broadcast(payload);
+                    let now = self.now_ms();
+                    self.store.insert(now, message.clone());
+                    if self
+                        .router_tx
+                        .send(RouterMsg::Broadcast { from: self.id, message })
+                        .is_err()
+                    {
+                        break; // router gone: cluster is shutting down
+                    }
+                }
+                Command::SyncRequest { from, known } => {
+                    let response = self.store.handle_sync(&SyncRequest::new(known));
+                    // Always reply — an empty response tells the requester
+                    // this peer had nothing, so it can ask another.
+                    let _ = self.router_tx.send(RouterMsg::SyncResponse {
+                        to: from,
+                        messages: response.messages,
+                    });
+                }
+                Command::SyncResponse(messages) => {
+                    self.sync_in_flight = false;
+                    for m in messages {
+                        self.accept(m, true);
+                    }
+                    // Still stuck (the peer lacked it too)? Ask again.
+                    self.maybe_request_sync();
+                }
+                Command::Query(reply) => {
+                    let _ = reply.send(NodeStatus {
+                        stats: self.process.stats(),
+                        pending: self.process.pending_len(),
+                        clock: self.process.clock().vector().clone(),
+                        sync_requests: self.sync_requests,
+                        recovered: self.recovered,
+                    });
+                }
+                Command::Shutdown => break,
+            }
+        }
+    }
+}
+
+/// Spawns a node thread; `epoch` anchors the millisecond clock used for
+/// the Algorithm 5 recent-list window and the recovery timers.
+pub(crate) fn spawn_node<P: Send + Clone + 'static>(
+    id: ProcessId,
+    keys: KeySet,
+    config: PcbConfig,
+    recovery: Option<RecoveryConfig>,
+    epoch: Instant,
+    router_tx: Sender<RouterMsg<P>>,
+) -> (NodeHandle<P>, Sender<Command<P>>) {
+    let (cmd_tx, cmd_rx) = unbounded::<Command<P>>();
+    let (delivery_tx, delivery_rx) = unbounded::<Delivery<P>>();
+    let store_window = recovery
+        .map_or(Duration::from_secs(5), |r| r.store_window)
+        .as_millis() as u64;
+    let thread_name = format!("pcb-node-{}", id.index());
+    let join = std::thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || {
+            let node = NodeLoop {
+                id,
+                process: PcbProcess::with_config(id, keys, config),
+                store: MessageStore::new(store_window),
+                recovery,
+                epoch,
+                router_tx,
+                delivery_tx,
+                sync_requests: 0,
+                recovered: 0,
+                sync_in_flight: false,
+            };
+            node.run(&cmd_rx);
+        })
+        .expect("spawn node thread");
+
+    let handle = NodeHandle {
+        id,
+        cmd_tx: cmd_tx.clone(),
+        deliveries: delivery_rx,
+        join: Some(join),
+    };
+    (handle, cmd_tx)
+}

@@ -1,0 +1,161 @@
+//! Live-cluster integration tests: real threads, real channels, real
+//! (scaled-down) latency.
+
+use std::time::Duration;
+
+use pcb_runtime::{Cluster, ClusterConfig, LatencyModel};
+
+const RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
+#[test]
+fn broadcast_reaches_every_other_node() {
+    let cluster = Cluster::<String>::start(ClusterConfig::quick(4)).unwrap();
+    cluster.node(0).broadcast("hello".to_string()).unwrap();
+    for i in 1..4 {
+        let d = cluster.node(i).deliveries().recv_timeout(RECV_TIMEOUT).unwrap();
+        assert_eq!(d.message.payload(), "hello");
+        assert!(!d.instant_alert);
+    }
+    // The sender does not receive its own broadcast.
+    assert!(cluster
+        .node(0)
+        .deliveries()
+        .recv_timeout(Duration::from_millis(200))
+        .is_err());
+    cluster.shutdown();
+}
+
+#[test]
+fn causal_chain_is_ordered_under_exact_config() {
+    // A -> (B delivers) -> B -> everyone: C must see A's message first.
+    let cluster = Cluster::<&'static str>::start(ClusterConfig::exact(5)).unwrap();
+    cluster.node(0).broadcast("m").unwrap();
+    let d = cluster.node(1).deliveries().recv_timeout(RECV_TIMEOUT).unwrap();
+    assert_eq!(*d.message.payload(), "m");
+    cluster.node(1).broadcast("m'").unwrap();
+
+    for i in 2..5 {
+        let first = cluster.node(i).deliveries().recv_timeout(RECV_TIMEOUT).unwrap();
+        let second = cluster.node(i).deliveries().recv_timeout(RECV_TIMEOUT).unwrap();
+        assert_eq!(*first.message.payload(), "m", "node {i} must see m first");
+        assert_eq!(*second.message.payload(), "m'");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn fifo_order_per_sender_is_preserved() {
+    let cluster = Cluster::<usize>::start(ClusterConfig::exact(3)).unwrap();
+    for k in 0..20 {
+        cluster.node(0).broadcast(k).unwrap();
+    }
+    for i in 1..3 {
+        let got: Vec<usize> = (0..20)
+            .map(|_| {
+                *cluster
+                    .node(i)
+                    .deliveries()
+                    .recv_timeout(RECV_TIMEOUT)
+                    .unwrap()
+                    .message
+                    .payload()
+            })
+            .collect();
+        assert_eq!(got, (0..20).collect::<Vec<_>>(), "node {i} FIFO order");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_senders_all_messages_arrive() {
+    let n = 5;
+    let per_node = 10;
+    let cluster = Cluster::<(usize, usize)>::start(ClusterConfig::quick(n)).unwrap();
+    for k in 0..per_node {
+        for i in 0..n {
+            cluster.node(i).broadcast((i, k)).unwrap();
+        }
+    }
+    let expected = (n - 1) * per_node;
+    for i in 0..n {
+        let mut got = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            got.push(
+                *cluster
+                    .node(i)
+                    .deliveries()
+                    .recv_timeout(RECV_TIMEOUT)
+                    .unwrap()
+                    .message
+                    .payload(),
+            );
+        }
+        // Every other node's full stream arrived, in per-sender order.
+        for s in (0..n).filter(|&s| s != i) {
+            let stream: Vec<usize> =
+                got.iter().filter(|(from, _)| *from == s).map(|&(_, k)| k).collect();
+            assert_eq!(stream, (0..per_node).collect::<Vec<_>>(), "node {i} from {s}");
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn status_reports_progress() {
+    let cluster = Cluster::<u8>::start(ClusterConfig::quick(3)).unwrap();
+    cluster.node(0).broadcast(7).unwrap();
+    let _ = cluster.node(1).deliveries().recv_timeout(RECV_TIMEOUT).unwrap();
+    let status0 = cluster.node(0).status().unwrap();
+    assert_eq!(status0.stats.sent, 1);
+    let status1 = cluster.node(1).status().unwrap();
+    assert_eq!(status1.stats.delivered, 1);
+    assert_eq!(status1.pending, 0);
+    assert!(status1.clock.total() > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn high_throughput_instant_latency() {
+    let cfg = ClusterConfig {
+        latency: LatencyModel::instant(),
+        ..ClusterConfig::exact(4)
+    };
+    let cluster = Cluster::<u32>::start(cfg).unwrap();
+    let total = 500u32;
+    for k in 0..total {
+        cluster.node((k % 4) as usize).broadcast(k).unwrap();
+    }
+    // Each node receives 3/4 of the stream.
+    for i in 0..4 {
+        for _ in 0..(total / 4 * 3) {
+            cluster
+                .node(i)
+                .deliveries()
+                .recv_timeout(RECV_TIMEOUT)
+                .expect("all messages delivered");
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_clean() {
+    let cluster = Cluster::<()>::start(ClusterConfig::quick(2)).unwrap();
+    assert_eq!(cluster.len(), 2);
+    assert!(!cluster.is_empty());
+    cluster.shutdown();
+    // Dropping a second cluster without explicit shutdown is also fine.
+    let cluster2 = Cluster::<()>::start(ClusterConfig::quick(2)).unwrap();
+    drop(cluster2);
+}
+
+#[test]
+fn broadcast_after_shutdown_errors() {
+    let cluster = Cluster::<u8>::start(ClusterConfig::quick(2)).unwrap();
+    let mut handle_ids = Vec::new();
+    for node in cluster.nodes() {
+        handle_ids.push(node.id());
+    }
+    assert_eq!(handle_ids.len(), 2);
+    cluster.shutdown();
+}

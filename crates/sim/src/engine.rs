@@ -1,0 +1,996 @@
+//! The discrete-event simulation engine.
+//!
+//! Reproduces the paper's §5.4 methodology: every process generates
+//! messages as a Poisson process (exponential inter-send times), each
+//! message draws a propagation delay `d ~ N(μ, σ²)` and each receiver an
+//! individual delay `~ N(d, σ_m²)`; receptions enqueue into the ordering
+//! discipline's pending buffer and deliveries are classified against the
+//! ground-truth oracle. Beyond the paper's model, the engine optionally
+//! simulates lossy links with retransmission ([`crate::config::LossModel`])
+//! and membership churn with join-time state transfer
+//! ([`crate::config::ChurnModel`]). All virtual times are in
+//! **microseconds**; the engine is fully deterministic for a given
+//! [`SimConfig::seed`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use pcb_broadcast::Discipline;
+use pcb_clock::{KeyAssigner, KeySet, KeySpace, ProcessId};
+
+use crate::config::{Dissemination, SimConfig};
+use crate::metrics::RunMetrics;
+use crate::oracle::{EpsilonEstimator, ExactChecker};
+use crate::rng::SimRng;
+
+/// Errors building or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// Key assignment failed (distinct policy exhausted, bad space).
+    Assignment(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+            Self::Assignment(msg) => write!(f, "key assignment failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+const MICROS_PER_MS: f64 = 1000.0;
+
+fn ms_to_us(ms: f64) -> u64 {
+    (ms * MICROS_PER_MS).round() as u64
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Ev {
+    time: u64,
+    tie: u64,
+    kind: EvKind,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum EvKind {
+    Send { p: u32 },
+    Recv { p: u32, msg: u32 },
+    Join { p: u32 },
+    SyncDone { p: u32 },
+    Leave { p: u32 },
+}
+
+// Min-heap ordering on (time, tie): BinaryHeap is a max-heap, so reverse.
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.tie).cmp(&(self.time, self.tie))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct MsgRec<S> {
+    sender: u32,
+    seq: u32,
+    sent_at: u64,
+    measured: bool,
+    targets: u32,
+    delivered_to: u32,
+    stamp: Option<S>,
+    tvc: Option<Box<[u32]>>,
+}
+
+struct Proc<D> {
+    disc: D,
+    active: bool,
+    syncing: bool,
+    pending: Vec<(u32, u64)>,
+    true_vc: Vec<u32>,
+    sent_count: u32,
+    exact: Option<ExactChecker>,
+    eps: Option<EpsilonEstimator>,
+    seen: Option<Vec<u64>>,
+}
+
+impl<D> Proc<D> {
+    fn saw(&mut self, msg: u32) -> bool {
+        let bits = self.seen.as_mut().expect("seen bitmap in gossip mode");
+        let (word, bit) = ((msg / 64) as usize, msg % 64);
+        if bits.len() <= word {
+            bits.resize(word + 1, 0);
+        }
+        let already = bits[word] & (1 << bit) != 0;
+        bits[word] |= 1 << bit;
+        already
+    }
+}
+
+struct Engine<'c, D: Discipline> {
+    cfg: &'c SimConfig,
+    keys: Vec<KeySet>,
+    procs: Vec<Proc<D>>,
+    msgs: Vec<MsgRec<D::Stamp>>,
+    heap: BinaryHeap<Ev>,
+    tie: u64,
+    rng: SimRng,
+    metrics: RunMetrics,
+    gossip_fanout: Option<usize>,
+    track_truth: bool,
+    duration_us: u64,
+    warmup_us: u64,
+}
+
+impl<D: Discipline> Engine<'_, D> {
+    fn push(&mut self, time: u64, kind: EvKind) {
+        self.tie += 1;
+        self.heap.push(Ev { time, tie: self.tie, kind });
+    }
+
+    fn schedule_next_send(&mut self, p: u32, now: u64) {
+        let next = now
+            + self
+                .rng
+                .exponential(self.cfg.mean_send_interval_ms * MICROS_PER_MS) as u64;
+        if next <= self.duration_us {
+            self.push(next, EvKind::Send { p });
+        }
+    }
+
+    fn schedule_leave(&mut self, p: u32, now: u64) {
+        if let Some(lifetime) = self.cfg.churn.and_then(|c| c.mean_lifetime_ms) {
+            let at = now + self.rng.exponential(lifetime * MICROS_PER_MS) as u64;
+            if at <= self.duration_us {
+                self.push(at, EvKind::Leave { p });
+            }
+        }
+    }
+
+    /// Per-message base delay `d` (ms) under the configured distribution
+    /// shape, moment-matched to `(μ, σ)`.
+    fn sample_base_delay_ms(&mut self) -> f64 {
+        use crate::config::LatencyDistribution::{Bimodal, Gaussian, LogNormal, Uniform};
+        let mu = self.cfg.latency_mean_ms;
+        let sigma = self.cfg.latency_sigma_ms;
+        let floor = self.cfg.latency_floor_ms;
+        match self.cfg.latency_distribution {
+            Gaussian => self.rng.normal_clamped(mu, sigma, floor),
+            Uniform => self.rng.uniform_matched(mu, sigma).max(floor),
+            LogNormal => self.rng.lognormal_matched(mu, sigma).max(floor),
+            Bimodal => {
+                let cluster_mu = if self.rng.uniform_open() < 0.5 { mu * 0.5 } else { mu * 1.5 };
+                self.rng.normal_clamped(cluster_mu, sigma, floor)
+            }
+        }
+    }
+
+    /// Link delay in microseconds around base `d_ms`, including the
+    /// lossy-link retransmission penalty when configured.
+    fn link_delay_us(&mut self, d_ms: f64) -> u64 {
+        let delay =
+            self.rng
+                .normal_clamped(d_ms, self.cfg.skew_sigma_ms, self.cfg.latency_floor_ms);
+        let mut us = ms_to_us(delay);
+        if let Some(loss) = self.cfg.loss {
+            while self.rng.uniform_open() < loss.drop_probability {
+                us += ms_to_us(loss.retransmit_ms);
+            }
+        }
+        us
+    }
+
+    fn activate(&mut self, p: u32, now: u64) {
+        self.procs[p as usize].active = true;
+        self.schedule_next_send(p, now);
+        self.schedule_leave(p, now);
+    }
+
+    /// Join phase 1: start receiving (buffered) and wait one sync window
+    /// so everything in flight at join time lands at the future donor.
+    fn begin_join(&mut self, p: u32, now: u64) {
+        let window = self
+            .cfg
+            .churn
+            .map_or(500.0, |c| c.sync_window_ms);
+        let proc = &mut self.procs[p as usize];
+        proc.active = true;
+        proc.syncing = true;
+        self.push(now + ms_to_us(window), EvKind::SyncDone { p });
+    }
+
+    /// Join phase 2: adopt a donor's protocol + oracle state, discard
+    /// buffered messages the snapshot already contains, and go live.
+    fn finish_join(&mut self, p: u32, now: u64) {
+        let pi = p as usize;
+        if !self.procs[pi].active {
+            return; // left (or never completed) before syncing finished
+        }
+        self.procs[pi].syncing = false;
+        if let Some(di) = self.pick_donor(p) {
+            let di = di as usize;
+            let (donor_exact, donor_eps, donor_vc) = {
+                let dp = &self.procs[di];
+                (dp.exact.clone(), dp.eps.clone(), dp.true_vc.clone())
+            };
+            // Split borrows to copy the discipline state.
+            let (lo, hi) = self.procs.split_at_mut(pi.max(di));
+            let (joiner, donor_ref) =
+                if pi < di { (&mut lo[pi], &hi[0]) } else { (&mut hi[0], &lo[di]) };
+            joiner.disc.adopt_state(&donor_ref.disc);
+            joiner.exact = donor_exact;
+            joiner.eps = donor_eps;
+            joiner.true_vc = donor_vc;
+            // Drop buffered messages the snapshot already contains — in a
+            // real system the recovery layer's dedup does this.
+            if self.procs[pi].exact.is_some() {
+                let mut kept = Vec::new();
+                let pending = std::mem::take(&mut self.procs[pi].pending);
+                for (midx, arrived) in pending {
+                    let rec = &mut self.msgs[midx as usize];
+                    let in_snapshot = self.procs[pi]
+                        .exact
+                        .as_ref()
+                        .expect("checked above")
+                        .contains(rec.sender as usize, rec.seq);
+                    if in_snapshot {
+                        rec.delivered_to += 1; // reached p via the snapshot
+                    } else {
+                        kept.push((midx, arrived));
+                    }
+                }
+                self.procs[pi].pending = kept;
+            }
+        }
+        self.metrics.joins += 1;
+        self.schedule_next_send(p, now);
+        self.schedule_leave(p, now);
+        self.drain(pi, now);
+    }
+
+    fn pick_donor(&mut self, exclude: u32) -> Option<u32> {
+        let candidates: Vec<u32> = (0..self.procs.len() as u32)
+            .filter(|&q| {
+                q != exclude && self.procs[q as usize].active && !self.procs[q as usize].syncing
+            })
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.index(candidates.len())])
+        }
+    }
+
+    fn handle_send(&mut self, p: u32, now: u64) {
+        let pi = p as usize;
+        if !self.procs[pi].active || self.procs[pi].syncing {
+            return;
+        }
+        self.schedule_next_send(p, now);
+
+        // Algorithm 1: stamp and broadcast.
+        let proc = &mut self.procs[pi];
+        proc.sent_count += 1;
+        let seq = proc.sent_count;
+        if self.track_truth {
+            proc.true_vc[pi] += 1;
+        }
+        // A process's own sends belong to its causal past without ever
+        // being delivered to it; tell the oracles.
+        if let Some(exact) = &mut proc.exact {
+            exact.record(pi, seq);
+        }
+        if let Some(eps) = &mut proc.eps {
+            eps.record_own_send(pi);
+        }
+        let stamp = proc.disc.stamp_send();
+        let tvc = self.track_truth.then(|| proc.true_vc.clone().into_boxed_slice());
+        let measured = now >= self.warmup_us;
+        if measured {
+            self.metrics.sent += 1;
+            self.metrics.control_bytes += D::stamp_wire_size(&stamp) as u64;
+        }
+        let midx = self.msgs.len() as u32;
+        let targets = self.procs.iter().filter(|q| q.active).count() as u32 - 1;
+        self.msgs.push(MsgRec {
+            sender: p,
+            seq,
+            sent_at: now,
+            measured,
+            targets,
+            delivered_to: 0,
+            stamp: Some(stamp),
+            tvc,
+        });
+
+        match self.gossip_fanout {
+            None => {
+                // Reliable broadcast: one delivery per other active process.
+                let d = self.sample_base_delay_ms();
+                for q in 0..self.procs.len() as u32 {
+                    if q == p || !self.procs[q as usize].active {
+                        continue;
+                    }
+                    let delay = self.link_delay_us(d);
+                    self.push(now + delay, EvKind::Recv { p: q, msg: midx });
+                }
+            }
+            Some(fanout) => {
+                self.procs[pi].saw(midx);
+                self.relay(pi, midx, now, fanout);
+            }
+        }
+    }
+
+    fn relay(&mut self, from: usize, msg: u32, now: u64, fanout: usize) {
+        let n = self.procs.len();
+        for _ in 0..fanout {
+            // Uniform peer other than the relayer (repeats across picks
+            // are allowed: real gossip targets are sampled with
+            // replacement).
+            let mut q = self.rng.index(n - 1);
+            if q >= from {
+                q += 1;
+            }
+            let delay = self.sample_base_delay_ms();
+            self.push(now + ms_to_us(delay), EvKind::Recv { p: q as u32, msg });
+        }
+    }
+
+    fn handle_recv(&mut self, p: u32, msg: u32, now: u64) {
+        let pi = p as usize;
+        if !self.procs[pi].active {
+            return;
+        }
+        if let Some(fanout) = self.gossip_fanout {
+            if self.procs[pi].saw(msg) {
+                if self.msgs[msg as usize].measured {
+                    self.metrics.duplicates += 1;
+                }
+                return;
+            }
+            self.relay(pi, msg, now, fanout);
+        }
+        // Snapshot dedup (churn only): a joiner's adopted state may
+        // already contain a message that was still in flight to it — the
+        // recovery layer's id-based dedup drops such late copies.
+        if self.cfg.churn.is_some() {
+            let rec = &self.msgs[msg as usize];
+            let in_snapshot = self.procs[pi]
+                .exact
+                .as_ref()
+                .is_some_and(|e| e.contains(rec.sender as usize, rec.seq));
+            if in_snapshot {
+                self.msgs[msg as usize].delivered_to += 1;
+                return;
+            }
+        }
+        self.procs[pi].pending.push((msg, now));
+        self.metrics.pending_peak = self.metrics.pending_peak.max(self.procs[pi].pending.len());
+        // A syncing joiner only buffers; the sync-done reconciliation
+        // drains whatever the snapshot does not cover.
+        if !self.procs[pi].syncing {
+            self.drain(pi, now);
+        }
+    }
+
+    fn drain(&mut self, pi: usize, now: u64) {
+        let n = self.procs.len();
+        let direct = self.gossip_fanout.is_none();
+        loop {
+            let mut delivered_any = false;
+            let mut i = 0;
+            while i < self.procs[pi].pending.len() {
+                let (midx, arrived_at) = self.procs[pi].pending[i];
+                let ready = {
+                    let rec = &self.msgs[midx as usize];
+                    let sender = ProcessId::new(rec.sender as usize);
+                    let stamp = rec.stamp.as_ref().expect("stamp alive while pending");
+                    self.procs[pi].disc.is_deliverable(
+                        sender,
+                        &self.keys[rec.sender as usize],
+                        stamp,
+                    )
+                };
+                if ready {
+                    self.procs[pi].pending.remove(i);
+                    self.deliver(pi, midx, arrived_at, now, n, direct);
+                    delivered_any = true;
+                    // Restart the scan: the clock advanced, earlier-queued
+                    // messages may have become ready.
+                    i = 0;
+                } else {
+                    i += 1;
+                }
+            }
+            if !delivered_any {
+                return;
+            }
+        }
+    }
+
+    fn deliver(&mut self, pi: usize, midx: u32, arrived_at: u64, now: u64, n: usize, direct: bool) {
+        let proc = &mut self.procs[pi];
+        let rec = &mut self.msgs[midx as usize];
+        let sender = ProcessId::new(rec.sender as usize);
+        let sender_keys = &self.keys[rec.sender as usize];
+        let stamp = rec.stamp.take().expect("stamp alive while pending");
+        let alerts = proc.disc.record_delivery(now, sender, sender_keys, &stamp);
+
+        let mut violation = false;
+        if let Some(tvc) = rec.tvc.as_deref() {
+            if let Some(exact) = &mut proc.exact {
+                violation = exact.deliver(rec.sender as usize, rec.seq, tvc);
+            }
+            let mut eps_outcome = None;
+            if let Some(eps) = &mut proc.eps {
+                eps_outcome = Some(eps.deliver(rec.sender as usize, tvc));
+            }
+            if rec.measured {
+                use crate::oracle::EpsilonOutcome;
+                match eps_outcome {
+                    Some(EpsilonOutcome::Wrong) => {
+                        self.metrics.eps_min += 1;
+                        self.metrics.eps_max += 1;
+                    }
+                    Some(EpsilonOutcome::Stale) => self.metrics.eps_max += 1,
+                    _ => {}
+                }
+            }
+            // Merge the message's causal knowledge into ours.
+            for (mine, &theirs) in proc.true_vc.iter_mut().zip(tvc) {
+                *mine = (*mine).max(theirs);
+            }
+        }
+
+        rec.delivered_to += 1;
+        if rec.measured {
+            self.metrics.deliveries += 1;
+            self.metrics.exact_violations += u64::from(violation);
+            self.metrics.alg4_alerts += u64::from(alerts.instant);
+            self.metrics.alg5_alerts += u64::from(alerts.recent);
+            self.metrics
+                .delay_ms
+                .push((now - rec.sent_at) as f64 / MICROS_PER_MS);
+            self.metrics
+                .blocking_ms
+                .push((now - arrived_at) as f64 / MICROS_PER_MS);
+        }
+        // Free the arena slot once everyone has it (direct mode).
+        if direct && rec.delivered_to >= rec.targets {
+            rec.tvc = None;
+        } else {
+            rec.stamp = Some(stamp);
+        }
+        let _ = n;
+    }
+}
+
+/// Runs one simulation, constructing each process's discipline with
+/// `make(id, keys)`.
+///
+/// The discipline's `record_delivery` receives the virtual time in
+/// microseconds, so Algorithm 5 windows must be specified in microseconds.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] for bad parameters,
+/// [`SimError::Assignment`] if key assignment fails.
+pub fn simulate<D, F>(
+    config: &SimConfig,
+    space: KeySpace,
+    mut make: F,
+) -> Result<RunMetrics, SimError>
+where
+    D: Discipline,
+    F: FnMut(ProcessId, KeySet) -> D,
+{
+    config.validate().map_err(SimError::InvalidConfig)?;
+    let started = Instant::now();
+    let n = config.n;
+    let track_truth = config.track_exact || config.track_epsilon;
+    let gossip_fanout = match config.dissemination {
+        Dissemination::Direct => None,
+        Dissemination::Gossip { fanout } => Some(fanout.min(n - 1)),
+    };
+
+    let mut assigner =
+        KeyAssigner::new(space, config.policy, crate::rng::derive_seed(config.seed, 1));
+    let keys: Vec<KeySet> = assigner
+        .assign_n(n)
+        .map_err(|e| SimError::Assignment(e.to_string()))?;
+
+    let initial_active = config.churn.map_or(n, |c| c.initial);
+    let procs: Vec<Proc<D>> = (0..n)
+        .map(|i| Proc {
+            disc: make(ProcessId::new(i), keys[i].clone()),
+            active: false,
+            syncing: false,
+            pending: Vec::new(),
+            true_vc: if track_truth { vec![0u32; n] } else { Vec::new() },
+            sent_count: 0,
+            exact: config.track_exact.then(|| ExactChecker::new(n)),
+            eps: config.track_epsilon.then(|| EpsilonEstimator::new(n)),
+            seen: gossip_fanout.map(|_| Vec::new()),
+        })
+        .collect();
+
+    let mut engine = Engine {
+        cfg: config,
+        keys,
+        procs,
+        msgs: Vec::new(),
+        heap: BinaryHeap::new(),
+        tie: 0,
+        rng: SimRng::new(crate::rng::derive_seed(config.seed, 2)),
+        metrics: RunMetrics::default(),
+        gossip_fanout,
+        track_truth,
+        duration_us: ms_to_us(config.duration_ms),
+        warmup_us: ms_to_us(config.warmup_ms),
+    };
+
+    // Bring up the initial membership (no state transfer at time zero).
+    for p in 0..initial_active as u32 {
+        engine.activate(p, 0);
+    }
+    // Schedule later joins as Poisson arrivals over the remaining ids.
+    if let Some(churn) = config.churn {
+        if churn.join_rate_per_sec > 0.0 {
+            let mut t = 0u64;
+            for p in initial_active as u32..n as u32 {
+                t += engine
+                    .rng
+                    .exponential(1000.0 * MICROS_PER_MS / churn.join_rate_per_sec)
+                    as u64;
+                if t > engine.duration_us {
+                    break;
+                }
+                engine.push(t, EvKind::Join { p });
+            }
+        }
+    }
+
+    let mut last_time = 0u64;
+    while let Some(ev) = engine.heap.pop() {
+        debug_assert!(ev.time >= last_time, "event times must be monotone");
+        last_time = ev.time;
+        match ev.kind {
+            EvKind::Send { p } => engine.handle_send(p, ev.time),
+            EvKind::Recv { p, msg } => engine.handle_recv(p, msg, ev.time),
+            EvKind::Join { p } => engine.begin_join(p, ev.time),
+            EvKind::SyncDone { p } => engine.finish_join(p, ev.time),
+            EvKind::Leave { p } => {
+                let proc = &mut engine.procs[p as usize];
+                if proc.active {
+                    proc.active = false;
+                    proc.syncing = false;
+                    proc.pending.clear();
+                    engine.metrics.leaves += 1;
+                }
+            }
+        }
+    }
+
+    let mut metrics = engine.metrics;
+    // Liveness accounting (Lemma 1: zero under direct dissemination with
+    // static membership).
+    metrics.stuck = engine
+        .procs
+        .iter()
+        .flat_map(|pr| pr.pending.iter())
+        .filter(|(m, _)| engine.msgs[*m as usize].measured)
+        .count() as u64;
+    metrics.undelivered = engine
+        .msgs
+        .iter()
+        .filter(|m| m.measured)
+        .map(|m| u64::from(m.targets.saturating_sub(m.delivered_to)))
+        .sum();
+    metrics.wall_secs = started.elapsed().as_secs_f64();
+    metrics.virtual_ms = last_time as f64 / MICROS_PER_MS;
+    Ok(metrics)
+}
+
+/// Convenience: simulate the paper's probabilistic discipline over `space`.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_prob(config: &SimConfig, space: KeySpace) -> Result<RunMetrics, SimError> {
+    simulate(config, space, |_, keys| pcb_broadcast::ProbDiscipline::new(keys))
+}
+
+/// Convenience: probabilistic discipline with the Algorithm 5 detector
+/// (window in milliseconds, converted to engine microseconds).
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_prob_detecting(
+    config: &SimConfig,
+    space: KeySpace,
+    window_ms: f64,
+) -> Result<RunMetrics, SimError> {
+    let window_us = ms_to_us(window_ms);
+    simulate(config, space, |_, keys| {
+        pcb_broadcast::DetectingProbDiscipline::new(keys, window_us)
+    })
+}
+
+/// Convenience: the exact vector-clock baseline.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_vector(config: &SimConfig) -> Result<RunMetrics, SimError> {
+    let space = KeySpace::new(1, 1).expect("trivial space");
+    let n = config.n;
+    simulate(config, space, |id, _| pcb_broadcast::VectorDiscipline::new(id, n))
+}
+
+/// Convenience: FIFO-only ordering baseline.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_fifo(config: &SimConfig) -> Result<RunMetrics, SimError> {
+    let space = KeySpace::new(1, 1).expect("trivial space");
+    let n = config.n;
+    simulate(config, space, |_, _| pcb_broadcast::FifoDiscipline::new(n))
+}
+
+/// Convenience: unordered delivery baseline.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_immediate(config: &SimConfig) -> Result<RunMetrics, SimError> {
+    let space = KeySpace::new(1, 1).expect("trivial space");
+    simulate(config, space, |_, _| pcb_broadcast::ImmediateDiscipline::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChurnModel, LossModel};
+
+    fn tiny_config() -> SimConfig {
+        SimConfig {
+            n: 8,
+            mean_send_interval_ms: 200.0,
+            duration_ms: 3000.0,
+            warmup_ms: 200.0,
+            seed: 42,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn vector_baseline_has_zero_violations() {
+        let metrics = simulate_vector(&tiny_config()).unwrap();
+        assert!(metrics.deliveries > 0);
+        assert_eq!(metrics.exact_violations, 0, "vector clocks are exact");
+        assert_eq!(metrics.eps_min, 0);
+        assert_eq!(metrics.eps_max, 0);
+        assert_eq!(metrics.stuck, 0);
+        assert_eq!(metrics.undelivered, 0);
+    }
+
+    #[test]
+    fn prob_with_full_vector_is_exact() {
+        // (R, K) = (N, 1) distinct entries: behaves like a vector clock.
+        let cfg = tiny_config();
+        let space = KeySpace::vector(cfg.n).unwrap();
+        let cfg_distinct = SimConfig {
+            policy: pcb_clock::AssignmentPolicy::RoundRobin,
+            ..cfg
+        };
+        let metrics = simulate_prob(&cfg_distinct, space).unwrap();
+        assert!(metrics.deliveries > 0);
+        assert_eq!(metrics.exact_violations, 0);
+        assert_eq!(metrics.stuck, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = tiny_config();
+        let space = KeySpace::new(16, 2).unwrap();
+        let a = simulate_prob(&cfg, space).unwrap();
+        let b = simulate_prob(&cfg, space).unwrap();
+        assert_eq!(a.sent, b.sent);
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.exact_violations, b.exact_violations);
+        assert_eq!(a.alg4_alerts, b.alg4_alerts);
+        assert_eq!(a.delay_ms.mean(), b.delay_ms.mean());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = tiny_config();
+        let space = KeySpace::new(16, 2).unwrap();
+        let a = simulate_prob(&cfg, space).unwrap();
+        let b = simulate_prob(&SimConfig { seed: 43, ..cfg }, space).unwrap();
+        // Counts could coincide, but full delay statistics colliding is
+        // implausible.
+        assert!(a.sent != b.sent || a.delay_ms.mean() != b.delay_ms.mean());
+    }
+
+    #[test]
+    fn direct_dissemination_delivers_everything() {
+        let cfg = tiny_config();
+        let space = KeySpace::new(16, 2).unwrap();
+        let m = simulate_prob(&cfg, space).unwrap();
+        assert_eq!(m.stuck, 0, "Lemma 1: no message stays blocked");
+        assert_eq!(m.undelivered, 0);
+        assert_eq!(m.deliveries % (cfg.n as u64 - 1), 0);
+        assert_eq!(m.deliveries, m.sent * (cfg.n as u64 - 1));
+    }
+
+    #[test]
+    fn immediate_discipline_sees_raw_reorder_rate() {
+        // Without ordering, violations happen at the raw network rate;
+        // with a heavy send rate they must show up.
+        let cfg = SimConfig {
+            n: 8,
+            mean_send_interval_ms: 20.0,
+            duration_ms: 2000.0,
+            warmup_ms: 100.0,
+            ..SimConfig::default()
+        };
+        let m = simulate_immediate(&cfg).unwrap();
+        assert!(m.deliveries > 1000);
+        assert!(
+            m.exact_violations > 0,
+            "heavy concurrency must produce unordered violations"
+        );
+    }
+
+    #[test]
+    fn fifo_fixes_same_sender_but_not_cross_sender() {
+        let cfg = SimConfig {
+            n: 8,
+            mean_send_interval_ms: 20.0,
+            duration_ms: 2000.0,
+            warmup_ms: 100.0,
+            ..SimConfig::default()
+        };
+        let fifo = simulate_fifo(&cfg).unwrap();
+        let none = simulate_immediate(&cfg).unwrap();
+        assert!(fifo.exact_violations > 0, "FIFO alone cannot ensure causality");
+        assert!(
+            fifo.violation_rate() < none.violation_rate(),
+            "but FIFO must beat no ordering: {} vs {}",
+            fifo.violation_rate(),
+            none.violation_rate()
+        );
+    }
+
+    #[test]
+    fn epsilon_brackets_exact() {
+        // Under heavy load with a tiny clock, violations occur; the
+        // paper's bounds must bracket the exact count.
+        let cfg = SimConfig {
+            n: 10,
+            mean_send_interval_ms: 30.0,
+            duration_ms: 3000.0,
+            warmup_ms: 100.0,
+            ..SimConfig::default()
+        };
+        let space = KeySpace::new(8, 2).unwrap();
+        let m = simulate_prob(&cfg, space).unwrap();
+        assert!(m.exact_violations > 0, "tiny clock under load must err");
+        assert!(m.eps_min <= m.exact_violations, "{} > {}", m.eps_min, m.exact_violations);
+        assert!(m.eps_max >= m.exact_violations, "{} < {}", m.eps_max, m.exact_violations);
+    }
+
+    #[test]
+    fn alerts_are_sound_no_alert_no_late_error() {
+        let cfg = SimConfig {
+            n: 10,
+            mean_send_interval_ms: 30.0,
+            duration_ms: 3000.0,
+            warmup_ms: 100.0,
+            ..SimConfig::default()
+        };
+        let space = KeySpace::new(8, 2).unwrap();
+        let m = simulate_prob(&cfg, space).unwrap();
+        if m.exact_violations > 0 {
+            assert!(m.alg4_alerts > 0, "violations without any Algorithm 4 alert");
+        }
+        assert!(m.alg4_alerts >= m.eps_min, "Alg 4 over-estimates");
+    }
+
+    #[test]
+    fn gossip_reaches_most_processes_with_log_fanout() {
+        let cfg = SimConfig {
+            n: 32,
+            mean_send_interval_ms: 2000.0,
+            duration_ms: 6000.0,
+            warmup_ms: 500.0,
+            dissemination: Dissemination::Gossip { fanout: 6 },
+            ..SimConfig::default()
+        };
+        let space = KeySpace::new(16, 2).unwrap();
+        let m = simulate_prob(&cfg, space).unwrap();
+        assert!(m.deliveries > 0);
+        assert!(m.duplicates > 0, "gossip must produce duplicates");
+        let possible = m.sent * (cfg.n as u64 - 1);
+        // Transport-level reach: delivered plus causally blocked (blocked
+        // messages did arrive; their dependencies were lost by gossip).
+        let reached = (m.deliveries + m.stuck) as f64 / possible as f64;
+        assert!(reached > 0.95, "fanout 6 should reach >95%, got {reached}");
+        let delivered = m.deliveries as f64 / possible as f64;
+        assert!(
+            delivered > 0.5,
+            "most messages should still clear the causal guard, got {delivered}"
+        );
+        assert!(
+            m.undelivered >= m.stuck,
+            "undelivered covers both lost and blocked messages"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let cfg = SimConfig { n: 1, ..SimConfig::default() };
+        let err = simulate_vector(&cfg).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        assert!(err.to_string().contains("2 processes"));
+    }
+
+    #[test]
+    fn detector_rates_ordered_alg5_below_alg4() {
+        let cfg = SimConfig {
+            n: 12,
+            mean_send_interval_ms: 40.0,
+            duration_ms: 3000.0,
+            warmup_ms: 100.0,
+            ..SimConfig::default()
+        };
+        let space = KeySpace::new(8, 2).unwrap();
+        let m = simulate_prob_detecting(&cfg, space, 250.0).unwrap();
+        assert!(
+            m.alg5_alerts <= m.alg4_alerts,
+            "Algorithm 5 refines Algorithm 4: {} > {}",
+            m.alg5_alerts,
+            m.alg4_alerts
+        );
+    }
+
+    #[test]
+    fn loss_with_retransmission_stays_live_but_reorders_more() {
+        let cfg = tiny_config();
+        let lossy = SimConfig {
+            loss: Some(LossModel { drop_probability: 0.3, retransmit_ms: 150.0 }),
+            mean_send_interval_ms: 40.0,
+            ..cfg.clone()
+        };
+        let clean = SimConfig { mean_send_interval_ms: 40.0, ..cfg };
+        let space = KeySpace::new(16, 2).unwrap();
+        let a = simulate_prob(&clean, space).unwrap();
+        let b = simulate_prob(&lossy, space).unwrap();
+        assert_eq!(b.stuck, 0, "retransmission preserves liveness");
+        assert_eq!(b.undelivered, 0);
+        assert!(
+            b.delay_ms.mean() > a.delay_ms.mean(),
+            "retransmits add delay: {} vs {}",
+            b.delay_ms.mean(),
+            a.delay_ms.mean()
+        );
+        assert!(
+            b.violation_rate() >= a.violation_rate(),
+            "loss-induced reordering must not reduce violations: {} vs {}",
+            b.violation_rate(),
+            a.violation_rate()
+        );
+    }
+
+    #[test]
+    fn churn_joins_and_leaves_processes() {
+        let cfg = SimConfig {
+            n: 24,
+            mean_send_interval_ms: 100.0,
+            duration_ms: 8000.0,
+            warmup_ms: 200.0,
+            churn: Some(ChurnModel {
+                mean_lifetime_ms: Some(6000.0),
+                ..ChurnModel::growing(8, 4.0)
+            }),
+            ..SimConfig::default()
+        };
+        let space = KeySpace::new(32, 3).unwrap();
+        let m = simulate_prob(&cfg, space).unwrap();
+        assert!(m.joins > 0, "joins must happen");
+        assert!(m.leaves > 0, "leaves must happen");
+        assert!(m.deliveries > 0);
+        // Stamp size unchanged by churn: 32 entries * 8 bytes.
+        assert_eq!(m.control_bytes_per_message(), 256.0);
+    }
+
+    #[test]
+    fn churn_join_state_transfer_keeps_joiners_current() {
+        // Joins with state transfer: the joiner can deliver new messages
+        // whose causal past predates its join. Without transfer it would
+        // sit blocked forever; with it, stuck stays small relative to
+        // deliveries.
+        let cfg = SimConfig {
+            n: 20,
+            mean_send_interval_ms: 100.0,
+            duration_ms: 8000.0,
+            warmup_ms: 200.0,
+            churn: Some(ChurnModel::growing(10, 2.0)),
+            ..SimConfig::default()
+        };
+        let space = KeySpace::new(32, 3).unwrap();
+        let m = simulate_prob(&cfg, space).unwrap();
+        assert!(m.joins > 0);
+        assert_eq!(m.leaves, 0);
+        assert!(
+            (m.stuck as f64) < 0.02 * m.deliveries as f64,
+            "state transfer keeps blocking negligible: stuck={} deliveries={}",
+            m.stuck,
+            m.deliveries
+        );
+    }
+
+    #[test]
+    fn latency_distributions_all_run_live() {
+        use crate::config::LatencyDistribution;
+        let space = KeySpace::new(16, 2).unwrap();
+        let mut rates = Vec::new();
+        for dist in [
+            LatencyDistribution::Gaussian,
+            LatencyDistribution::Uniform,
+            LatencyDistribution::LogNormal,
+            LatencyDistribution::Bimodal,
+        ] {
+            let cfg = SimConfig {
+                latency_distribution: dist,
+                mean_send_interval_ms: 50.0,
+                ..tiny_config()
+            };
+            let m = simulate_prob(&cfg, space).unwrap();
+            assert_eq!(m.stuck, 0, "{dist:?} must stay live");
+            assert!(m.deliveries > 0);
+            // Moment matching: mean delay within 20% of the configured μ
+            // (skew and clamping shift it slightly).
+            assert!(
+                (m.delay_ms.mean() - 100.0).abs() < 25.0,
+                "{dist:?} mean delay {} too far from 100 ms",
+                m.delay_ms.mean()
+            );
+            rates.push((dist, m.violation_rate()));
+        }
+        // Bimodal (two latency clusters) reorders far more than uniform
+        // (bounded support).
+        let get = |d: LatencyDistribution| {
+            rates.iter().find(|(x, _)| *x == d).expect("present").1
+        };
+        assert!(
+            get(LatencyDistribution::Bimodal) > get(LatencyDistribution::Uniform),
+            "bimodal {} should exceed uniform {}",
+            get(LatencyDistribution::Bimodal),
+            get(LatencyDistribution::Uniform)
+        );
+    }
+
+    #[test]
+    fn churn_static_config_unchanged() {
+        // churn = None must reproduce the original static behaviour.
+        let cfg = tiny_config();
+        let space = KeySpace::new(16, 2).unwrap();
+        let m = simulate_prob(&cfg, space).unwrap();
+        assert_eq!(m.joins, 0);
+        assert_eq!(m.leaves, 0);
+        assert_eq!(m.deliveries, m.sent * (cfg.n as u64 - 1));
+    }
+}

@@ -1,0 +1,168 @@
+//! Metrics collected over one simulation run.
+
+use pcb_analysis::{wilson_interval, Welford};
+
+/// Everything a run measures. All message-level counters cover only
+/// messages *sent inside the measurement window* (after warm-up, before
+/// the send cutoff); the simulation itself runs to full drain.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Messages sent in the measurement window.
+    pub sent: u64,
+    /// Deliveries of measured messages (≈ `sent × (N - 1)` under direct
+    /// dissemination).
+    pub deliveries: u64,
+    /// Deliveries violating causal order, per the exact checker.
+    pub exact_violations: u64,
+    /// The paper's lower bound `ε_min` (definite wrong deliveries).
+    pub eps_min: u64,
+    /// The paper's upper bound `ε_max` (wrong + stale arrivals).
+    pub eps_max: u64,
+    /// Algorithm 4 alerts raised on measured deliveries.
+    pub alg4_alerts: u64,
+    /// Algorithm 5 alerts raised on measured deliveries.
+    pub alg5_alerts: u64,
+    /// Transport-level duplicates suppressed (gossip).
+    pub duplicates: u64,
+    /// Measured messages that never reached some process (gossip only;
+    /// always 0 under direct dissemination).
+    pub undelivered: u64,
+    /// End-to-end delivery latency (receive→deliver wait included), ms.
+    pub delay_ms: Welford,
+    /// Time spent blocked in the pending queue (delivery minus arrival), ms.
+    pub blocking_ms: Welford,
+    /// High-water mark of any process's pending queue.
+    pub pending_peak: usize,
+    /// Total control-information bytes attached to measured messages.
+    pub control_bytes: u64,
+    /// Messages still undeliverable at simulation end (should be 0 —
+    /// liveness, Lemma 1 — under direct dissemination with static
+    /// membership).
+    pub stuck: u64,
+    /// Processes that joined mid-run (churn).
+    pub joins: u64,
+    /// Processes that left mid-run (churn).
+    pub leaves: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Virtual milliseconds simulated (including drain).
+    pub virtual_ms: f64,
+}
+
+impl RunMetrics {
+    /// Causal-order violations per delivery (the paper's "error rate").
+    #[must_use]
+    pub fn violation_rate(&self) -> f64 {
+        ratio(self.exact_violations, self.deliveries)
+    }
+
+    /// `ε_min` per delivery.
+    #[must_use]
+    pub fn eps_min_rate(&self) -> f64 {
+        ratio(self.eps_min, self.deliveries)
+    }
+
+    /// `ε_max` per delivery.
+    #[must_use]
+    pub fn eps_max_rate(&self) -> f64 {
+        ratio(self.eps_max, self.deliveries)
+    }
+
+    /// Algorithm 4 alert rate per delivery.
+    #[must_use]
+    pub fn alg4_rate(&self) -> f64 {
+        ratio(self.alg4_alerts, self.deliveries)
+    }
+
+    /// Algorithm 5 alert rate per delivery.
+    #[must_use]
+    pub fn alg5_rate(&self) -> f64 {
+        ratio(self.alg5_alerts, self.deliveries)
+    }
+
+    /// 95% Wilson interval on the violation rate.
+    #[must_use]
+    pub fn violation_interval(&self) -> (f64, f64) {
+        wilson_interval(self.exact_violations, self.deliveries, 1.96)
+    }
+
+    /// Mean control overhead per message, bytes.
+    #[must_use]
+    pub fn control_bytes_per_message(&self) -> f64 {
+        ratio(self.control_bytes, self.sent)
+    }
+
+    /// Simulated deliveries per wall-clock second (throughput diagnostic).
+    #[must_use]
+    pub fn deliveries_per_wall_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.deliveries as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another run's counters into this one — used to aggregate
+    /// replications of the same configuration under different seeds.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.sent += other.sent;
+        self.deliveries += other.deliveries;
+        self.exact_violations += other.exact_violations;
+        self.eps_min += other.eps_min;
+        self.eps_max += other.eps_max;
+        self.alg4_alerts += other.alg4_alerts;
+        self.alg5_alerts += other.alg5_alerts;
+        self.duplicates += other.duplicates;
+        self.undelivered += other.undelivered;
+        self.delay_ms.merge(&other.delay_ms);
+        self.blocking_ms.merge(&other.blocking_ms);
+        self.pending_peak = self.pending_peak.max(other.pending_peak);
+        self.control_bytes += other.control_bytes;
+        self.stuck += other.stuck;
+        self.joins += other.joins;
+        self.leaves += other.leaves;
+        self.wall_secs += other.wall_secs;
+        self.virtual_ms = self.virtual_ms.max(other.virtual_ms);
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_divide_by_deliveries() {
+        let m = RunMetrics {
+            deliveries: 1000,
+            exact_violations: 10,
+            eps_min: 8,
+            eps_max: 15,
+            alg4_alerts: 200,
+            alg5_alerts: 40,
+            ..RunMetrics::default()
+        };
+        assert!((m.violation_rate() - 0.01).abs() < 1e-12);
+        assert!((m.eps_min_rate() - 0.008).abs() < 1e-12);
+        assert!((m.eps_max_rate() - 0.015).abs() < 1e-12);
+        assert!((m.alg4_rate() - 0.2).abs() < 1e-12);
+        assert!((m.alg5_rate() - 0.04).abs() < 1e-12);
+        let (lo, hi) = m.violation_interval();
+        assert!(lo < 0.01 && 0.01 < hi);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.violation_rate(), 0.0);
+        assert_eq!(m.control_bytes_per_message(), 0.0);
+        assert_eq!(m.deliveries_per_wall_sec(), 0.0);
+    }
+}

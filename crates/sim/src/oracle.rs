@@ -1,0 +1,366 @@
+//! Ground-truth causal-order checking (paper §5.4.1).
+//!
+//! Measuring the error rate requires knowing, for every delivery, whether
+//! some causal predecessor was still undelivered. The paper instruments
+//! its simulator with vector clocks and reports two bounds, `ε_min` and
+//! `ε_max`, because a contaminated vector clock cannot classify the
+//! late-arriving "missing" messages precisely.
+//!
+//! We provide both:
+//!
+//! * [`ExactChecker`] — per-(receiver, sender) delivered-prefix counters
+//!   with a sparse out-of-order set; classifies *every* delivery exactly.
+//!   This is affordable at laptop scale and is the primary metric.
+//! * [`EpsilonEstimator`] — the paper's methodology: a per-receiver
+//!   vector clock, max-merged on wrong deliveries so that skipped
+//!   messages surface later as "stale" arrivals; `ε_min` counts only the
+//!   definite wrong deliveries, `ε_max` additionally counts every stale
+//!   arrival.
+//!
+//! Both consume the *true* vector timestamp of each message (maintained
+//! by the simulator outside the protocol under test; it is measurement
+//! instrumentation, not protocol state).
+
+use std::collections::BTreeSet;
+
+/// Exact per-receiver causal-delivery checker.
+///
+/// For a message `m` from sender `j` with true vector timestamp `tvc`
+/// (where `tvc[j]` counts `m` itself), the delivery at this receiver is
+/// causally correct iff every message of every process `l` up to
+/// `tvc[l]` (and up to `tvc[j] - 1` for `j`) has already been delivered
+/// here.
+#[derive(Debug, Clone)]
+pub struct ExactChecker {
+    /// Contiguous delivered prefix per sender.
+    prefix: Vec<u32>,
+    /// Delivered sequence numbers beyond the prefix, per sender (rare).
+    ooo: Vec<BTreeSet<u32>>,
+}
+
+impl ExactChecker {
+    /// A fresh checker for a universe of `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { prefix: vec![0; n], ooo: vec![BTreeSet::new(); n] }
+    }
+
+    /// Whether all messages of `sender` with sequence `<= upto` have been
+    /// delivered at this receiver.
+    #[must_use]
+    pub fn has_all_upto(&self, sender: usize, upto: u32) -> bool {
+        let p = self.prefix[sender];
+        if p >= upto {
+            return true;
+        }
+        let ooo = &self.ooo[sender];
+        // Every gap seq in (p, upto] must be present out-of-order.
+        ooo.range(p + 1..=upto).count() as u32 == upto - p
+    }
+
+    /// Classifies and records a delivery. Returns `true` iff the delivery
+    /// **violates** causal order (some causal predecessor undelivered).
+    ///
+    /// `tvc` must have one entry per process, counting messages *sent*
+    /// (with `tvc[sender]` including this message).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the same `(sender, seq)` is delivered twice.
+    pub fn deliver(&mut self, sender: usize, seq: u32, tvc: &[u32]) -> bool {
+        let violation = !self.is_ready(sender, seq, tvc);
+        self.record(sender, seq);
+        violation
+    }
+
+    /// The readiness test alone (no recording).
+    #[must_use]
+    pub fn is_ready(&self, sender: usize, seq: u32, tvc: &[u32]) -> bool {
+        debug_assert_eq!(tvc.len(), self.prefix.len());
+        debug_assert_eq!(tvc[sender], seq, "tvc must count the message itself");
+        // Fast path: compare against the contiguous prefixes.
+        for (l, (&need_raw, &have)) in tvc.iter().zip(&self.prefix).enumerate() {
+            let need = if l == sender { need_raw - 1 } else { need_raw };
+            if have < need && !self.has_all_upto(l, need) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Records a delivery without classifying (used when replaying).
+    pub fn record(&mut self, sender: usize, seq: u32) {
+        let p = &mut self.prefix[sender];
+        if seq == *p + 1 {
+            *p += 1;
+            // Absorb any out-of-order deliveries now contiguous.
+            let ooo = &mut self.ooo[sender];
+            while ooo.remove(&(*p + 1)) {
+                *p += 1;
+            }
+        } else {
+            debug_assert!(seq > *p, "duplicate delivery of {sender}#{seq}");
+            let inserted = self.ooo[sender].insert(seq);
+            debug_assert!(inserted, "duplicate delivery of {sender}#{seq}");
+        }
+    }
+
+    /// Whether this receiver has delivered `sender`'s message `seq`.
+    #[must_use]
+    pub fn contains(&self, sender: usize, seq: u32) -> bool {
+        seq <= self.prefix[sender] || self.ooo[sender].contains(&seq)
+    }
+
+    /// Total messages delivered at this receiver.
+    #[must_use]
+    pub fn delivered_total(&self) -> u64 {
+        self.prefix.iter().map(|&p| u64::from(p)).sum::<u64>()
+            + self.ooo.iter().map(|s| s.len() as u64).sum::<u64>()
+    }
+
+    /// Number of out-of-order (gap-leaving) deliveries currently held.
+    #[must_use]
+    pub fn gap_count(&self) -> usize {
+        self.ooo.iter().map(BTreeSet::len).sum()
+    }
+}
+
+/// Outcome classes of the paper's ε-estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpsilonOutcome {
+    /// Causally ready per the (possibly contaminated) oracle clock.
+    Ok,
+    /// Definitely wrong: a fresh message delivered before its causal past.
+    /// Counted in both `ε_min` and `ε_max`.
+    Wrong,
+    /// A "missing" message arriving after being skipped over. `ε_min`
+    /// assumes it was fine, `ε_max` assumes it was a violation.
+    Stale,
+}
+
+/// The paper's §5.4.1 estimator: a per-receiver vector clock that is
+/// max-merged on wrong deliveries.
+///
+/// # Caveat (reproduction finding)
+///
+/// `ε_max` is *not* a strict upper bound on the exact violation count:
+/// when several deliveries depend on the **same** missing message, only
+/// the first is classified `Wrong` — the merge contaminates the clock, so
+/// the rest look `Ok` — while the missing message contributes a single
+/// `Stale`. Three dependents of one missing message thus count 3 exact
+/// violations but only `ε_max = 2`. At the paper's operating points
+/// violations are rare and rarely share a cause, so the bracketing holds
+/// there (see `epsilon_validation`), but heavy-reordering regimes can
+/// exceed `ε_max` (see the `epsilon_max_can_undercount_*` test).
+#[derive(Debug, Clone)]
+pub struct EpsilonEstimator {
+    vc: Vec<u32>,
+    wrong: u64,
+    stale: u64,
+}
+
+impl EpsilonEstimator {
+    /// A fresh estimator for `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { vc: vec![0; n], wrong: 0, stale: 0 }
+    }
+
+    /// Records one of this receiver's *own* sends: a process's own
+    /// messages are part of its causal past without ever being
+    /// "delivered" to it.
+    pub fn record_own_send(&mut self, me: usize) {
+        self.vc[me] += 1;
+    }
+
+    /// Classifies and records a delivery.
+    pub fn deliver(&mut self, sender: usize, tvc: &[u32]) -> EpsilonOutcome {
+        debug_assert_eq!(tvc.len(), self.vc.len());
+        let seq = tvc[sender];
+        if seq <= self.vc[sender] {
+            // The oracle already skipped past this message.
+            self.stale += 1;
+            return EpsilonOutcome::Stale;
+        }
+        let ready = seq == self.vc[sender] + 1
+            && tvc
+                .iter()
+                .zip(&self.vc)
+                .enumerate()
+                .all(|(l, (&need, &have))| l == sender || need <= have);
+        // Merge regardless: wrong deliveries contaminate the clock so the
+        // skipped messages are later classified as stale.
+        for (mine, &theirs) in self.vc.iter_mut().zip(tvc) {
+            *mine = (*mine).max(theirs);
+        }
+        if ready {
+            EpsilonOutcome::Ok
+        } else {
+            self.wrong += 1;
+            EpsilonOutcome::Wrong
+        }
+    }
+
+    /// Lower bound on violations: definite wrong deliveries.
+    #[must_use]
+    pub fn eps_min(&self) -> u64 {
+        self.wrong
+    }
+
+    /// Upper bound on violations: wrong deliveries plus all stale
+    /// arrivals.
+    #[must_use]
+    pub fn eps_max(&self) -> u64 {
+        self.wrong + self.stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// tvc helper: counts per sender.
+    fn tvc(entries: &[u32]) -> Vec<u32> {
+        entries.to_vec()
+    }
+
+    #[test]
+    fn in_order_stream_is_clean() {
+        let mut c = ExactChecker::new(2);
+        assert!(!c.deliver(0, 1, &tvc(&[1, 0])));
+        assert!(!c.deliver(0, 2, &tvc(&[2, 0])));
+        assert!(!c.deliver(1, 1, &tvc(&[2, 1]))); // p1 saw both of p0's
+        assert_eq!(c.delivered_total(), 3);
+        assert_eq!(c.gap_count(), 0);
+    }
+
+    #[test]
+    fn fifo_gap_is_violation() {
+        let mut c = ExactChecker::new(1);
+        // Message #2 delivered before #1.
+        assert!(c.deliver(0, 2, &tvc(&[2])));
+        assert!(!c.deliver(0, 1, &tvc(&[1])), "late #1 has empty past");
+        assert_eq!(c.gap_count(), 0, "prefix absorbed after #1 arrives");
+        assert_eq!(c.delivered_total(), 2);
+    }
+
+    #[test]
+    fn cross_sender_dependency_violation() {
+        // m' from p1 depends on m = p0#1; delivering m' first violates.
+        let mut c = ExactChecker::new(2);
+        assert!(c.deliver(1, 1, &tvc(&[1, 1])), "m' before m is a violation");
+        assert!(!c.deliver(0, 1, &tvc(&[1, 0])), "m itself has no past");
+    }
+
+    #[test]
+    fn concurrent_messages_any_order_ok() {
+        let mut c = ExactChecker::new(2);
+        assert!(!c.deliver(1, 1, &tvc(&[0, 1])), "concurrent: no dependency");
+        assert!(!c.deliver(0, 1, &tvc(&[1, 0])));
+    }
+
+    #[test]
+    fn gap_then_dependent_message_violation() {
+        let mut c = ExactChecker::new(2);
+        // p0 sent #1, #2. Receiver has neither. p1's message saw both.
+        assert!(!c.deliver(0, 1, &tvc(&[1, 0])));
+        // Skip p0#2; deliver p1#1 which depends on p0#2.
+        assert!(c.deliver(1, 1, &tvc(&[2, 1])));
+        // Now p0#2 arrives: its own past (p0#1) is delivered, so it's OK.
+        assert!(!c.deliver(0, 2, &tvc(&[2, 0])));
+    }
+
+    #[test]
+    fn has_all_upto_with_out_of_order_fill() {
+        let mut c = ExactChecker::new(1);
+        c.record(0, 2);
+        c.record(0, 4);
+        assert!(!c.has_all_upto(0, 2));
+        c.record(0, 1);
+        assert!(c.has_all_upto(0, 2), "1,2 contiguous now");
+        assert!(!c.has_all_upto(0, 4), "3 missing");
+        c.record(0, 3);
+        assert!(c.has_all_upto(0, 4));
+        assert_eq!(c.gap_count(), 0);
+    }
+
+    #[test]
+    fn ready_check_uses_ooo_entries() {
+        let mut c = ExactChecker::new(2);
+        // Deliver p0#2 then p0#1 (violation recorded), then a message
+        // depending on both: must be ready despite the earlier gap.
+        c.record(0, 2);
+        c.record(0, 1);
+        assert!(c.is_ready(1, 1, &tvc(&[2, 1])));
+    }
+
+    #[test]
+    fn epsilon_in_order_is_ok() {
+        let mut e = EpsilonEstimator::new(2);
+        assert_eq!(e.deliver(0, &tvc(&[1, 0])), EpsilonOutcome::Ok);
+        assert_eq!(e.deliver(1, &tvc(&[1, 1])), EpsilonOutcome::Ok);
+        assert_eq!(e.eps_min(), 0);
+        assert_eq!(e.eps_max(), 0);
+    }
+
+    #[test]
+    fn epsilon_wrong_then_stale() {
+        let mut e = EpsilonEstimator::new(2);
+        // m' (depends on p0#1) delivered first: Wrong. Then p0#1: Stale.
+        assert_eq!(e.deliver(1, &tvc(&[1, 1])), EpsilonOutcome::Wrong);
+        assert_eq!(e.deliver(0, &tvc(&[1, 0])), EpsilonOutcome::Stale);
+        assert_eq!(e.eps_min(), 1);
+        assert_eq!(e.eps_max(), 2);
+    }
+
+    #[test]
+    fn epsilon_max_can_undercount_clustered_violations() {
+        // Three messages all depending on the same missing p0#1: the
+        // exact checker counts 3 violations, but the estimator's clock is
+        // contaminated after the first, so ε_max only reaches 2. This is
+        // the documented limit of the paper's §5.4.1 upper bound.
+        let mut exact = ExactChecker::new(4);
+        let mut eps = EpsilonEstimator::new(4);
+        let history: [(usize, Vec<u32>); 4] = [
+            (1, tvc(&[1, 1, 0, 0])), // depends on p0#1 (missing)
+            (2, tvc(&[1, 0, 1, 0])), // same missing dependency
+            (3, tvc(&[1, 0, 0, 1])), // same missing dependency
+            (0, tvc(&[1, 0, 0, 0])), // the missing message, late
+        ];
+        let mut exact_violations = 0u64;
+        for (sender, t) in &history {
+            if exact.deliver(*sender, t[*sender], t) {
+                exact_violations += 1;
+            }
+            let _ = eps.deliver(*sender, t);
+        }
+        assert_eq!(exact_violations, 3);
+        assert_eq!(eps.eps_min(), 1, "only the first dependent looks wrong");
+        assert_eq!(eps.eps_max(), 2, "one wrong + one stale < three violations");
+        assert!(eps.eps_min() <= exact_violations, "the lower bound stays sound");
+    }
+
+    #[test]
+    fn epsilon_brackets_exact_on_simple_history() {
+        // One wrong delivery, one harmless reordering of concurrent
+        // messages: exact = 1, eps_min = 1, eps_max >= 1.
+        let mut exact = ExactChecker::new(3);
+        let mut eps = EpsilonEstimator::new(3);
+        let history: [(usize, Vec<u32>); 3] = [
+            (1, tvc(&[1, 1, 0])), // depends on p0#1: wrong
+            (0, tvc(&[1, 0, 0])), // the missing message: stale for eps
+            (2, tvc(&[0, 0, 1])), // concurrent: fine
+        ];
+        let mut exact_violations = 0u64;
+        for (sender, t) in &history {
+            let seq = t[*sender];
+            if exact.deliver(*sender, seq, t) {
+                exact_violations += 1;
+            }
+            let _ = eps.deliver(*sender, t);
+        }
+        assert_eq!(exact_violations, 1);
+        assert!(eps.eps_min() <= exact_violations);
+        assert!(eps.eps_max() >= exact_violations);
+    }
+}

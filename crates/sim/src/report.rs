@@ -1,0 +1,93 @@
+//! Plain-text and CSV rendering of sweep results.
+
+use std::fmt::Write as _;
+
+use crate::runner::SweepPoint;
+
+/// Renders sweep points as an aligned text table (one row per point).
+///
+/// `label` names the swept axis and `axis` extracts its display value.
+#[must_use]
+pub fn render_table(
+    title: &str,
+    label: &str,
+    points: &[SweepPoint],
+    axis: impl Fn(&SweepPoint) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(
+        out,
+        "{label:>10} {:>8} {:>12} {:>12} {:>24} {:>12} {:>10}",
+        "K", "theory", "measured", "95% CI", "deliveries", "stuck"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>12.3e} {:>12.3e} [{:>10.3e}, {:>10.3e}] {:>12} {:>10}",
+            axis(p),
+            p.k,
+            p.theory_p_error,
+            p.violation_rate,
+            p.violation_ci.0,
+            p.violation_ci.1,
+            p.metrics.deliveries,
+            p.metrics.stuck,
+        );
+    }
+    out
+}
+
+/// Renders sweep points as CSV with a fixed header.
+#[must_use]
+pub fn render_csv(points: &[SweepPoint]) -> String {
+    let mut out = String::from(
+        "n,k,lambda_ms,concurrency,theory_p_error,violation_rate,ci_low,ci_high,\
+         deliveries,violations,alg4_alerts,alg5_alerts,mean_delay_ms,mean_blocking_ms,\
+         pending_peak,stuck\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            p.n,
+            p.k,
+            p.lambda_ms,
+            p.concurrency,
+            p.theory_p_error,
+            p.violation_rate,
+            p.violation_ci.0,
+            p.violation_ci.1,
+            p.metrics.deliveries,
+            p.metrics.exact_violations,
+            p.metrics.alg4_alerts,
+            p.metrics.alg5_alerts,
+            p.metrics.delay_ms.mean(),
+            p.metrics.blocking_ms.mean(),
+            p.metrics.pending_peak,
+            p.metrics.stuck,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::figure3;
+
+    #[test]
+    fn table_and_csv_render() {
+        let rows = figure3(crate::runner::SweepOptions { scale: 0.01, seed: 1, reps: 1 }, &[30], &[1, 2]).unwrap();
+        let table = render_table("Figure 3 (mini)", "N", &rows, |p| p.n.to_string());
+        assert!(table.contains("Figure 3 (mini)"));
+        assert!(table.lines().count() >= 4);
+
+        let csv = render_csv(&rows);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("n,k,lambda_ms"));
+        assert_eq!(lines.count(), 2);
+        assert_eq!(csv.lines().nth(1).unwrap().split(',').count(), 16);
+    }
+}

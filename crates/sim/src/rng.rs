@@ -1,0 +1,210 @@
+//! Deterministic randomness for the simulator.
+//!
+//! The paper's workload model (§5.4) needs exponential inter-send times
+//! (Poisson generation), and Gaussian propagation delays with a Gaussian
+//! per-receiver skew. `rand` supplies the uniform source; the two
+//! distributions are implemented here (inverse CDF and Box-Muller) so the
+//! crate stays within the sanctioned dependency set.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Derives an independent stream seed from a master seed — SplitMix64
+/// finalizer, the standard seed-spreading hash.
+#[must_use]
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The simulator's random source: a seeded [`StdRng`] plus the two
+/// distribution samplers the workload model needs.
+///
+/// ```
+/// use pcb_sim::rng::SimRng;
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.exponential(5000.0), b.exponential(5000.0));
+/// ```
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a deterministic generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// A uniform `f64` in `(0, 1]` (never zero, safe for `ln`).
+    pub fn uniform_open(&mut self) -> f64 {
+        loop {
+            let u: f64 = self.inner.random();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// A uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.random_range(0..n)
+    }
+
+    /// Exponential sample with the given mean (inverse CDF). Models the
+    /// paper's Poisson message generation: the time to the next send.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        -mean * self.uniform_open().ln()
+    }
+
+    /// Gaussian sample `N(mu, sigma^2)` via Box-Muller (with spare reuse).
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        let z = match self.spare_normal.take() {
+            Some(z) => z,
+            None => {
+                let u1 = self.uniform_open();
+                let u2 = self.uniform_open();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                self.spare_normal = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mu + sigma * z
+    }
+
+    /// Gaussian sample clamped below at `floor` — used for propagation
+    /// delays, which must stay positive.
+    pub fn normal_clamped(&mut self, mu: f64, sigma: f64, floor: f64) -> f64 {
+        self.normal(mu, sigma).max(floor)
+    }
+
+    /// Uniform sample over `[mu - √3·sigma, mu + √3·sigma]` — same mean
+    /// and variance as `N(mu, sigma²)`, but bounded support.
+    pub fn uniform_matched(&mut self, mu: f64, sigma: f64) -> f64 {
+        let half_width = 3.0f64.sqrt() * sigma;
+        mu - half_width + 2.0 * half_width * self.uniform_open()
+    }
+
+    /// Log-normal sample with the given *target* mean and standard
+    /// deviation (moment-matched) — a heavy-tailed delay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`.
+    pub fn lognormal_matched(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(mean > 0.0, "log-normal mean must be positive");
+        let variance_ratio = (sigma / mean).powi(2);
+        let log_var = (1.0 + variance_ratio).ln();
+        let log_mu = mean.ln() - log_var / 2.0;
+        (log_mu + log_var.sqrt() * self.normal(0.0, 1.0)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_spreads() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        let c = derive_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(derive_seed(1, 0), a, "pure function");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.normal(0.0, 1.0).to_bits(), b.normal(0.0, 1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::new(1);
+        let n = 200_000;
+        let mean = 5000.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let empirical = sum / n as f64;
+        assert!(
+            (empirical - mean).abs() / mean < 0.02,
+            "empirical mean {empirical} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = SimRng::new(2);
+        assert!((0..10_000).all(|_| rng.exponential(1.0) > 0.0));
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = SimRng::new(3);
+        let n = 200_000;
+        let (mu, sigma) = (100.0, 20.0);
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(mu, sigma)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - mu).abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.5, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_clamped_respects_floor() {
+        let mut rng = SimRng::new(4);
+        assert!((0..10_000).all(|_| rng.normal_clamped(0.0, 100.0, 1.0) >= 1.0));
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut rng = SimRng::new(5);
+        assert!((0..1000).all(|_| rng.index(7) < 7));
+    }
+
+    #[test]
+    fn uniform_matched_moments() {
+        let mut rng = SimRng::new(6);
+        let n = 200_000;
+        let (mu, sigma) = (100.0, 20.0);
+        let samples: Vec<f64> = (0..n).map(|_| rng.uniform_matched(mu, sigma)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - mu).abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.5, "sigma {}", var.sqrt());
+        let half = 3.0f64.sqrt() * sigma;
+        assert!(samples.iter().all(|&x| x > mu - half - 1e-9 && x <= mu + half + 1e-9));
+    }
+
+    #[test]
+    fn lognormal_matched_moments() {
+        let mut rng = SimRng::new(7);
+        let n = 400_000;
+        let (mu, sigma) = (100.0, 20.0);
+        let samples: Vec<f64> = (0..n).map(|_| rng.lognormal_matched(mu, sigma)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - mu).abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 1.0, "sigma {}", var.sqrt());
+        assert!(samples.iter().all(|&x| x > 0.0), "log-normal is positive");
+    }
+}

@@ -1,0 +1,318 @@
+//! Experiment sweeps regenerating the paper's figures (§5.4.2–§5.4.3).
+//!
+//! Each `figure*` function runs the corresponding parameter sweep and
+//! returns one row per configuration; the `pcb-bench` binaries print them
+//! as tables. [`SweepOptions::scale`] multiplies the measured
+//! virtual-time window (1.0 ≈ 14 simulated seconds per point — minutes of
+//! wall time for the full sweeps; use 0.1–0.3 for a quick look) and
+//! [`SweepOptions::reps`] replicates each point under derived seeds,
+//! pooling the counts — causal violations arrive in bursts (one covering
+//! event fans out), so replication tightens the effective error bars far
+//! more than a longer single run.
+
+use pcb_analysis::error_model;
+use pcb_clock::KeySpace;
+
+use crate::config::SimConfig;
+use crate::engine::{simulate_prob, SimError};
+use crate::metrics::RunMetrics;
+use crate::rng::derive_seed;
+
+/// The paper's vector length for all §5.4 experiments.
+pub const PAPER_R: usize = 100;
+/// The paper's per-process receive rate for Figures 3 and 6 (msg/s).
+pub const PAPER_RECEIVE_RATE: f64 = 200.0;
+/// The paper's §5.4.3 per-process inter-send interval (ms).
+pub const PAPER_LAMBDA_MS: f64 = 5000.0;
+/// The paper's §5.4.3 process count.
+pub const PAPER_N: usize = 1000;
+/// The paper's §5.4.3 number of entries per process.
+pub const PAPER_K: usize = 4;
+
+/// Common sweep controls.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Multiplier on the measured window (1.0 ≈ 14 simulated seconds).
+    pub scale: f64,
+    /// Master seed; replication seeds are derived from it.
+    pub seed: u64,
+    /// Independent replications pooled per point.
+    pub reps: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self { scale: 0.25, seed: 1, reps: 3 }
+    }
+}
+
+impl SweepOptions {
+    /// Options with everything defaulted except the scale.
+    #[must_use]
+    pub fn with_scale(scale: f64) -> Self {
+        Self { scale, ..Self::default() }
+    }
+}
+
+fn base_config(opts: SweepOptions) -> SimConfig {
+    SimConfig {
+        warmup_ms: 1000.0,
+        duration_ms: 1000.0 + 14_000.0 * opts.scale,
+        seed: opts.seed,
+        // Figures track the exact oracle only; the ε estimator is
+        // exercised by `epsilon_validation`.
+        track_exact: true,
+        track_epsilon: false,
+        ..SimConfig::default()
+    }
+}
+
+/// One measured point of a sweep (counts pooled over the replications).
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Number of processes.
+    pub n: usize,
+    /// Entries per process.
+    pub k: usize,
+    /// Per-process mean inter-send interval (ms).
+    pub lambda_ms: f64,
+    /// Expected concurrency `X` for this configuration.
+    pub concurrency: f64,
+    /// Model prediction `P_error(R, K, X)`.
+    pub theory_p_error: f64,
+    /// Measured causal-order violations per delivery.
+    pub violation_rate: f64,
+    /// 95% confidence interval on the violation rate.
+    pub violation_ci: (f64, f64),
+    /// Pooled metrics of the replications.
+    pub metrics: RunMetrics,
+}
+
+impl SweepPoint {
+    fn build(cfg: &SimConfig, k: usize, metrics: RunMetrics) -> Self {
+        let x = cfg.expected_concurrency();
+        Self {
+            n: cfg.n,
+            k,
+            lambda_ms: cfg.mean_send_interval_ms,
+            concurrency: x,
+            theory_p_error: error_model::error_probability(PAPER_R, k, x),
+            violation_rate: metrics.violation_rate(),
+            violation_ci: metrics.violation_interval(),
+            metrics,
+        }
+    }
+}
+
+fn run_point(cfg: &SimConfig, k: usize, reps: usize) -> Result<SweepPoint, SimError> {
+    let space = KeySpace::new(PAPER_R, k)
+        .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+    let mut pooled = RunMetrics::default();
+    for rep in 0..reps.max(1) {
+        let cfg = SimConfig { seed: derive_seed(cfg.seed, 1000 + rep as u64), ..cfg.clone() };
+        pooled.merge(&simulate_prob(&cfg, space)?);
+    }
+    Ok(SweepPoint::build(cfg, k, pooled))
+}
+
+/// **Figure 3**: error rate vs `K` for several population sizes, with the
+/// per-process receive rate held at 200 msg/s (`λ = N/200 s`). The paper
+/// reports the empirical minimum at `K = 4` against a theoretical optimum
+/// of `ln(2)·100/20 ≈ 3.5`.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn figure3(
+    opts: SweepOptions,
+    ns: &[usize],
+    ks: &[usize],
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        for &k in ks {
+            let cfg = SimConfig { n, ..base_config(opts) }
+                .with_constant_receive_rate(PAPER_RECEIVE_RATE);
+            rows.push(run_point(&cfg, k, opts.reps)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Default sweep axes for [`figure3`] (the paper's four population sizes
+/// and `K` up to 10).
+#[must_use]
+pub fn figure3_defaults() -> (Vec<usize>, Vec<usize>) {
+    (vec![500, 1000, 1500, 2000], vec![1, 2, 3, 4, 5, 6, 8, 10])
+}
+
+/// **Figure 4**: error rate vs `λ` at `N = 1000`, `R = 100`, `K = 4`.
+/// Stable around the λ = 5000 ms design point, rising sharply below
+/// 3000 ms.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn figure4(opts: SweepOptions, lambdas_ms: &[f64]) -> Result<Vec<SweepPoint>, SimError> {
+    lambdas_ms
+        .iter()
+        .map(|&lambda| {
+            let cfg = SimConfig {
+                n: PAPER_N,
+                mean_send_interval_ms: lambda,
+                ..base_config(opts)
+            };
+            run_point(&cfg, PAPER_K, opts.reps)
+        })
+        .collect()
+}
+
+/// Default λ axis for [`figure4`] (ms).
+#[must_use]
+pub fn figure4_defaults() -> Vec<f64> {
+    vec![1000.0, 1500.0, 2000.0, 2500.0, 3000.0, 4000.0, 5000.0, 6000.0, 8000.0, 10_000.0]
+}
+
+/// **Figure 5**: error rate vs `N` with `λ` fixed at 5000 ms — the
+/// aggregate load grows with `N`, so the error rate climbs past the
+/// `N = 1000` design point.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn figure5(opts: SweepOptions, ns: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
+    ns.iter()
+        .map(|&n| {
+            let cfg = SimConfig {
+                n,
+                mean_send_interval_ms: PAPER_LAMBDA_MS,
+                ..base_config(opts)
+            };
+            run_point(&cfg, PAPER_K, opts.reps)
+        })
+        .collect()
+}
+
+/// Default `N` axis for [`figure5`].
+#[must_use]
+pub fn figure5_defaults() -> Vec<usize> {
+    vec![250, 500, 750, 1000, 1250, 1500, 2000]
+}
+
+/// **Figure 6**: error rate vs `N` at a constant aggregate receive rate
+/// of 200 msg/s — flat at and above the design point, rising when fewer
+/// nodes each send faster.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn figure6(opts: SweepOptions, ns: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
+    ns.iter()
+        .map(|&n| {
+            let cfg = SimConfig { n, ..base_config(opts) }
+                .with_constant_receive_rate(PAPER_RECEIVE_RATE);
+            run_point(&cfg, PAPER_K, opts.reps)
+        })
+        .collect()
+}
+
+/// Default `N` axis for [`figure6`].
+#[must_use]
+pub fn figure6_defaults() -> Vec<usize> {
+    figure5_defaults()
+}
+
+/// Result of the §5.4.1 methodology validation: the paper's ε bounds and
+/// the detectors, against the exact oracle, on one configuration.
+#[derive(Debug, Clone)]
+pub struct EpsilonValidation {
+    /// Raw metrics (with both oracles enabled).
+    pub metrics: RunMetrics,
+}
+
+impl EpsilonValidation {
+    /// Whether the paper's bounds bracket the exact count.
+    #[must_use]
+    pub fn brackets_exact(&self) -> bool {
+        self.metrics.eps_min <= self.metrics.exact_violations
+            && self.metrics.exact_violations <= self.metrics.eps_max
+    }
+}
+
+/// Runs the ε_min/ε_max estimator alongside the exact checker on a
+/// down-scaled §5.4.3 configuration (smaller `N` so the run is cheap; the
+/// estimators are per-receiver and independent of `N`).
+///
+/// # Errors
+///
+/// Propagates simulation failure.
+pub fn epsilon_validation(
+    opts: SweepOptions,
+    n: usize,
+) -> Result<EpsilonValidation, SimError> {
+    let cfg = SimConfig {
+        n,
+        track_epsilon: true,
+        ..base_config(opts)
+    }
+    .with_constant_receive_rate(PAPER_RECEIVE_RATE);
+    let space = KeySpace::new(PAPER_R, PAPER_K)
+        .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+    let metrics = simulate_prob(&cfg, space)?;
+    Ok(EpsilonValidation { metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(scale: f64, seed: u64) -> SweepOptions {
+        SweepOptions { scale, seed, reps: 1 }
+    }
+
+    #[test]
+    fn figure3_rows_cover_grid() {
+        let rows = figure3(tiny(0.01, 1), &[50], &[1, 2, 4]).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.n == 50));
+        assert_eq!(rows.iter().map(|r| r.k).collect::<Vec<_>>(), vec![1, 2, 4]);
+        for r in &rows {
+            assert!(r.metrics.deliveries > 0);
+            assert!((0.0..=1.0).contains(&r.violation_rate));
+            assert!(r.violation_ci.0 <= r.violation_rate + 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure3_constant_receive_rate() {
+        let rows = figure3(tiny(0.01, 1), &[40, 80], &[2]).unwrap();
+        // λ scales with N so X (concurrency) is constant.
+        assert!((rows[0].concurrency - rows[1].concurrency).abs() < 1e-9);
+        assert!(rows[1].lambda_ms > rows[0].lambda_ms);
+    }
+
+    #[test]
+    fn replication_pools_counts() {
+        let one = figure3(tiny(0.01, 1), &[40], &[2]).unwrap();
+        let three = figure3(SweepOptions { reps: 3, ..tiny(0.01, 1) }, &[40], &[2]).unwrap();
+        // Each replication uses a derived seed, so counts are only
+        // approximately 3x (Poisson workload lengths differ per seed).
+        let ratio = three[0].metrics.deliveries as f64 / one[0].metrics.deliveries as f64;
+        assert!((2.0..4.0).contains(&ratio), "pooled deliveries ratio {ratio}");
+        assert!(three[0].metrics.sent > one[0].metrics.sent);
+    }
+
+    #[test]
+    fn figure4_lambda_axis() {
+        let rows = figure4(tiny(0.002, 1), &[4000.0, 8000.0]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].concurrency > rows[1].concurrency);
+        assert!(rows[0].theory_p_error > rows[1].theory_p_error);
+    }
+
+    #[test]
+    fn epsilon_validation_brackets() {
+        let v = epsilon_validation(tiny(0.05, 3), 60).unwrap();
+        assert!(v.brackets_exact(), "eps bounds must bracket exact: {:?}", v.metrics);
+    }
+}

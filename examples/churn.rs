@@ -1,0 +1,84 @@
+//! Continuous joins and leaves — the motivation for constant-size stamps.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example churn
+//! ```
+//!
+//! Vector clocks need to know `N` and every identity; churn forces a
+//! reconfiguration that is impossible to agree on asynchronously (FLP).
+//! Here, processes join mid-stream by drawing a fresh `set_id` and
+//! copying one peer's vector (state transfer); nobody else changes
+//! anything, and message stamps stay `R` integers throughout.
+
+use pcb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = KeySpace::new(32, 3)?;
+    let mut group = Group::new(space, AssignmentPolicy::DistinctRandom, 5);
+
+    // Three founding members.
+    let mut members: Vec<PcbProcess<String>> = Vec::new();
+    for _ in 0..3 {
+        let (id, keys) = group.join()?;
+        members.push(PcbProcess::new(id, keys));
+    }
+    println!(
+        "founded group with {} members; stamps are {} bytes regardless of membership",
+        group.alive_count(),
+        space.r() * 8
+    );
+
+    // A little traffic among the founders.
+    let mut log: Vec<pcb::broadcast::Message<String>> = Vec::new();
+    for round in 0..3 {
+        for i in 0..members.len() {
+            let m = members[i].broadcast(format!("founder {i} round {round}"));
+            log.push(m.clone());
+            for (j, peer) in members.iter_mut().enumerate() {
+                if j != i {
+                    peer.on_receive(m.clone(), round as u64);
+                }
+            }
+        }
+    }
+
+    // A newcomer joins: draws keys, copies member 0's vector, and is
+    // immediately able to participate — nobody else was touched.
+    let (id, keys) = group.join()?;
+    println!("{id} joins; existing members keep their key sets untouched");
+    let mut newcomer: PcbProcess<String> = PcbProcess::new(id, keys);
+    let snapshot = members[0].clock().vector().clone();
+    newcomer.install_state(snapshot, 100);
+
+    // The newcomer both receives...
+    let m = members[1].broadcast("welcome!".to_string());
+    let got = newcomer.on_receive(m.clone(), 101);
+    assert_eq!(got.len(), 1, "state transfer made the newcomer current");
+    println!("newcomer delivered: {:?}", got[0].message.payload());
+    for (j, peer) in members.iter_mut().enumerate() {
+        if j != 1 {
+            peer.on_receive(m.clone(), 101);
+        }
+    }
+
+    // ...and sends, with the same constant-size stamp.
+    let hello = newcomer.broadcast("hello from the newcomer".to_string());
+    assert_eq!(hello.timestamp().len(), space.r());
+    for peer in &mut members {
+        let out = peer.on_receive(hello.clone(), 102);
+        assert_eq!(out.len(), 1);
+    }
+    println!("newcomer's first message delivered everywhere; stamp stayed {} entries", space.r());
+
+    // A founder leaves; the group shrinks with zero protocol action.
+    let leaver = members[2].id();
+    group.leave(leaver);
+    println!(
+        "{leaver} left; alive = {} of {} ever issued — no reconfiguration, no stamp resize",
+        group.alive_count(),
+        group.total_issued()
+    );
+    assert_eq!(group.alive_count(), 3);
+    Ok(())
+}

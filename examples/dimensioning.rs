@@ -1,0 +1,78 @@
+//! Dimensioning a deployment: choosing `(R, K)` from the error model.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example dimensioning
+//! ```
+//!
+//! Given a workload estimate (aggregate message rate × propagation delay
+//! = concurrency `X`, paper §5.3), prints the smallest vector and optimal
+//! `K` for several target error probabilities, the savings versus a
+//! vector clock, and then validates one plan with a quick simulation.
+
+use pcb::analysis::{compression_vs_vector_clock, concurrency, optimal_k, plan_for_target};
+use pcb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Workload estimate: 1000 processes, one message each per 5 s,
+    // 100 ms propagation -> X = 20 concurrent messages (paper §5.4.3).
+    let n = 1000;
+    let aggregate_rate = n as f64 / 5.0;
+    let x = concurrency(aggregate_rate, 0.1);
+    println!("workload: N = {n}, aggregate {aggregate_rate} msg/s, X = {x}");
+    println!("ideal K for R = 100: ln(2)*100/{x} = {:.2}", optimal_k(100, x));
+    println!();
+
+    println!(
+        "{:>12} {:>6} {:>4} {:>14} {:>16}",
+        "target", "R", "K", "stamp bytes", "vs vector clock"
+    );
+    for target in [1e-1, 1e-2, 1e-3, 1e-4, 1e-6] {
+        let plan = plan_for_target(x, target, 1_000_000)?;
+        println!(
+            "{target:>12.0e} {:>6} {:>4} {:>14} {:>15.1}x",
+            plan.r,
+            plan.k,
+            plan.wire_bytes,
+            compression_vs_vector_clock(&plan, n)
+        );
+    }
+    println!();
+
+    // Validate the 1e-3 plan with a short simulation at scale N = 150
+    // and the same concurrency X = 20.
+    let plan = plan_for_target(x, 1e-3, 1_000_000)?;
+    let sim_n = 150;
+    let cfg = SimConfig {
+        n: sim_n,
+        duration_ms: 11_000.0,
+        warmup_ms: 1000.0,
+        // Keep the aggregate rate at 200 msg/s so X stays 20.
+        mean_send_interval_ms: sim_n as f64 / 200.0 * 1000.0,
+        track_epsilon: false,
+        ..SimConfig::default()
+    };
+    let space = KeySpace::new(plan.r, plan.k)?;
+    let metrics = simulate_prob(&cfg, space)?;
+    let (lo, hi) = metrics.violation_interval();
+    println!(
+        "validation: R = {}, K = {} -> measured violation rate {:.2e} (95% CI [{:.1e}, {:.1e}]) \
+         over {} deliveries",
+        plan.r,
+        plan.k,
+        metrics.violation_rate(),
+        lo,
+        hi,
+        metrics.deliveries
+    );
+    println!(
+        "model predicted P_error = {:.2e}; the measured rate also includes the network's \
+         reordering probability P_nc, so measured <= predicted is expected",
+        plan.p_error
+    );
+    assert!(
+        metrics.violation_rate() <= plan.p_error * 1.5 + 1e-4,
+        "measured rate should not blow past the model bound"
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Lossy network + anti-entropy recovery, live.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example lossy_recovery
+//! ```
+//!
+//! The paper assumes a recovery procedure exists (§4.2, "e.g.,
+//! anti-entropy") and contributes the detectors that bound when it must
+//! run. This demo shows the full loop on the threaded runtime: a
+//! transport that drops 30% of deliveries, nodes that notice stale
+//! pending messages, sync requests answered from peers' recent-message
+//! stores, and a cluster that converges to complete causal delivery
+//! anyway.
+
+use std::time::{Duration, Instant};
+
+use pcb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 5;
+    let per_node = 12u64;
+    let loss = 0.30;
+
+    println!("cluster of {n} nodes, {:.0}% delivery loss, anti-entropy enabled", loss * 100.0);
+    let cluster = Cluster::<String>::start(
+        pcb::runtime::ClusterConfig::lossy_with_recovery(n, loss),
+    )?;
+
+    for k in 0..per_node {
+        for i in 0..n {
+            cluster.node(i).broadcast(format!("msg {k} from node {i}"))?;
+        }
+    }
+    let expected = per_node * (n as u64 - 1);
+    println!("broadcast {} messages; each node should deliver {expected}", per_node * n as u64);
+
+    // Wait for convergence.
+    let start = Instant::now();
+    loop {
+        let delivered: Vec<u64> = (0..n)
+            .map(|i| cluster.node(i).status().map_or(0, |s| s.stats.delivered))
+            .collect();
+        if delivered.iter().all(|&d| d >= expected) {
+            println!("converged in {:?}", start.elapsed());
+            break;
+        }
+        if start.elapsed() > Duration::from_secs(30) {
+            println!("did not converge: {delivered:?}");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    println!();
+    println!("{:>6} {:>10} {:>9} {:>14} {:>10}", "node", "delivered", "pending", "sync requests", "recovered");
+    let mut total_recovered = 0;
+    for i in 0..n {
+        let s = cluster.node(i).status().ok_or("node down")?;
+        println!(
+            "{:>6} {:>10} {:>9} {:>14} {:>10}",
+            i, s.stats.delivered, s.pending, s.sync_requests, s.recovered
+        );
+        total_recovered += s.recovered;
+    }
+    cluster.shutdown();
+
+    println!();
+    println!(
+        "~{:.0} deliveries were dropped by the wire; anti-entropy replays unblocked \
+         {total_recovered} deliveries (replayed messages plus the pending cascades they \
+         released). Causal order held throughout: the pending buffer blocked successors of \
+         lost messages until recovery supplied them.",
+        expected as f64 * n as f64 * loss
+    );
+    Ok(())
+}

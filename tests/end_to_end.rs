@@ -1,0 +1,185 @@
+//! Cross-crate integration: planner → clock → protocol → simulator.
+
+use pcb::prelude::*;
+
+fn quick_cfg(n: usize) -> SimConfig {
+    SimConfig {
+        n,
+        warmup_ms: 300.0,
+        duration_ms: 4300.0,
+        seed: 11,
+        track_epsilon: false,
+        ..SimConfig::default()
+    }
+    .with_constant_receive_rate(200.0)
+}
+
+#[test]
+fn planned_configuration_meets_its_target_in_simulation() {
+    // Plan for a 1e-2 covering probability at X = 20, then measure: the
+    // realized violation rate must stay below the planned bound (the
+    // model is an upper bound: it ignores P_nc).
+    let x = pcb::analysis::concurrency(200.0, 0.1);
+    let plan = pcb::analysis::plan_for_target(x, 1e-2, 100_000).unwrap();
+    let space = KeySpace::new(plan.r, plan.k).unwrap();
+    let metrics = simulate_prob(&quick_cfg(60), space).unwrap();
+    assert!(metrics.deliveries > 10_000);
+    assert!(
+        metrics.violation_rate() < plan.p_error,
+        "measured {} must stay below planned bound {}",
+        metrics.violation_rate(),
+        plan.p_error
+    );
+}
+
+#[test]
+fn violation_rate_decreases_with_vector_length() {
+    // More entries, fewer collisions: R = 16 must err far more than
+    // R = 128 at the same K and load.
+    let small = simulate_prob(&quick_cfg(60), KeySpace::new(16, 4).unwrap()).unwrap();
+    let large = simulate_prob(&quick_cfg(60), KeySpace::new(128, 4).unwrap()).unwrap();
+    assert!(small.exact_violations > 0, "R = 16 under X = 20 must err");
+    assert!(
+        small.violation_rate() > 3.0 * large.violation_rate(),
+        "R=16 rate {} should dwarf R=128 rate {}",
+        small.violation_rate(),
+        large.violation_rate()
+    );
+}
+
+#[test]
+fn violation_rate_increases_with_load() {
+    // Same clock, doubled concurrency: more errors (Figure 4's knee).
+    let base = quick_cfg(60);
+    let loaded = SimConfig {
+        mean_send_interval_ms: base.mean_send_interval_ms / 4.0,
+        ..base.clone()
+    };
+    let space = KeySpace::new(48, 3).unwrap();
+    let calm = simulate_prob(&base, space).unwrap();
+    let busy = simulate_prob(&loaded, space).unwrap();
+    assert!(
+        busy.violation_rate() > calm.violation_rate(),
+        "4x the load must raise the rate: {} vs {}",
+        busy.violation_rate(),
+        calm.violation_rate()
+    );
+}
+
+#[test]
+fn lamport_extreme_is_live_but_erroneous() {
+    // (R, K) = (1, 1): the single shared entry is inflated by every send
+    // and delivery in the system, so the delivery condition is almost
+    // always satisfied — the protocol stays live but degenerates to
+    // near-raw arrival order (§5.3: P_error = 1 under concurrency).
+    let cfg = quick_cfg(30);
+    let lamport = simulate_prob(&cfg, KeySpace::lamport()).unwrap();
+    assert_eq!(lamport.stuck, 0, "Lemma 1 liveness at the Lamport extreme");
+    let sized = simulate_prob(&cfg, KeySpace::new(100, 4).unwrap()).unwrap();
+    assert!(
+        lamport.violation_rate() > 5.0 * sized.violation_rate().max(1e-6),
+        "Lamport extreme rate {} must dwarf the sized clock's {}",
+        lamport.violation_rate(),
+        sized.violation_rate()
+    );
+}
+
+#[test]
+fn plausible_clocks_are_the_k1_special_case() {
+    // K = 1 (Torres-Rojas plausible clocks) works but errs more than the
+    // optimal K at the same R under the paper's load.
+    let cfg = quick_cfg(60);
+    let plausible = simulate_prob(&cfg, KeySpace::plausible(100).unwrap()).unwrap();
+    let tuned = simulate_prob(&cfg, KeySpace::new(100, 3).unwrap()).unwrap();
+    assert_eq!(plausible.stuck, 0);
+    assert!(
+        plausible.violation_rate() > tuned.violation_rate(),
+        "K=1 rate {} should exceed K=3 rate {}",
+        plausible.violation_rate(),
+        tuned.violation_rate()
+    );
+}
+
+#[test]
+fn control_overhead_is_independent_of_population() {
+    // The headline property: stamp bytes depend on R, never on N.
+    let space = KeySpace::new(100, 4).unwrap();
+    let small = simulate_prob(&quick_cfg(30), space).unwrap();
+    let large = simulate_prob(&quick_cfg(90), space).unwrap();
+    assert_eq!(
+        small.control_bytes_per_message(),
+        large.control_bytes_per_message(),
+        "overhead must not grow with N"
+    );
+    assert_eq!(small.control_bytes_per_message(), 800.0);
+}
+
+#[test]
+fn same_seed_same_history_through_the_full_stack() {
+    let space = KeySpace::new(64, 3).unwrap();
+    let a = simulate_prob(&quick_cfg(40), space).unwrap();
+    let b = simulate_prob(&quick_cfg(40), space).unwrap();
+    assert_eq!(a.sent, b.sent);
+    assert_eq!(a.deliveries, b.deliveries);
+    assert_eq!(a.exact_violations, b.exact_violations);
+    assert_eq!(a.eps_max, b.eps_max);
+    assert_eq!(a.alg4_alerts, b.alg4_alerts);
+}
+
+#[test]
+fn endpoint_and_discipline_agree_on_the_protocol() {
+    // The full endpoint (PcbProcess) and the lean discipline must make
+    // identical delivery decisions on the same message history.
+    use pcb::broadcast::{Discipline, ProbDiscipline};
+
+    let space = KeySpace::new(12, 2).unwrap();
+    let mut assigner = KeyAssigner::new(space, AssignmentPolicy::DistinctRandom, 3);
+    let ka = assigner.next_set().unwrap();
+    let kb = assigner.next_set().unwrap();
+
+    let mut endpoint_tx: PcbProcess<u32> = PcbProcess::new(ProcessId::new(0), ka.clone());
+    let mut disc_rx = ProbDiscipline::new(kb.clone());
+    let mut endpoint_rx: PcbProcess<u32> = PcbProcess::new(ProcessId::new(1), kb);
+
+    for i in 0..20 {
+        let m = endpoint_tx.broadcast(i);
+        let disc_ready = disc_rx.is_deliverable(ProcessId::new(0), &ka, m.timestamp());
+        let endpoint_out = endpoint_rx.on_receive(m.clone(), u64::from(i));
+        assert_eq!(disc_ready, endpoint_out.len() == 1, "message {i}");
+        if disc_ready {
+            disc_rx.record_delivery(u64::from(i), ProcessId::new(0), &ka, m.timestamp());
+        }
+    }
+}
+
+#[test]
+fn group_membership_feeds_live_endpoints() {
+    // Group (membership) + PcbProcess (protocol) + analysis (planning)
+    // glue together.
+    let x = 10.0;
+    let plan = pcb::analysis::plan_for_target(x, 1e-2, 10_000).unwrap();
+    let space = KeySpace::new(plan.r, plan.k).unwrap();
+    let mut group = Group::new(space, AssignmentPolicy::DistinctRandom, 9);
+
+    let mut procs: Vec<PcbProcess<usize>> = (0..5)
+        .map(|_| {
+            let (id, keys) = group.join().unwrap();
+            PcbProcess::new(id, keys)
+        })
+        .collect();
+
+    // Round-robin chatter, fully connected, in-order transport.
+    let mut delivered = 0usize;
+    for round in 0..10 {
+        for i in 0..procs.len() {
+            let m = procs[i].broadcast(round * 10 + i);
+            for (j, p) in procs.iter_mut().enumerate() {
+                if j != i {
+                    delivered += p.on_receive(m.clone(), round as u64).len();
+                }
+            }
+        }
+    }
+    assert_eq!(delivered, 10 * 5 * 4, "every broadcast delivered everywhere");
+    assert!(procs.iter().all(|p| p.pending_len() == 0));
+}

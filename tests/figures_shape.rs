@@ -1,0 +1,165 @@
+//! Shape checks for the paper's figures at miniature scale: the
+//! qualitative claims (who wins, where the optimum and the knees sit)
+//! must hold even on quick runs. Full-scale regeneration lives in the
+//! `pcb-bench` binaries.
+
+use pcb::prelude::*;
+use pcb_sim::runner;
+
+fn cfg(n: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        n,
+        warmup_ms: 300.0,
+        duration_ms: 6300.0,
+        seed,
+        track_epsilon: false,
+        ..SimConfig::default()
+    }
+    .with_constant_receive_rate(200.0)
+}
+
+/// Violation rate for (R = 100, K) on a small population at the paper's
+/// X = 20 concurrency.
+fn rate_for_k(k: usize, seed: u64) -> f64 {
+    let space = KeySpace::new(100, k).unwrap();
+    let m = simulate_prob(&cfg(60, seed), space).unwrap();
+    m.violation_rate()
+}
+
+#[test]
+fn figure3_shape_interior_k_beats_extremes() {
+    // The essence of Figure 3: some 1 < K < 10 strictly beats both K = 1
+    // (plausible clocks) and K = 10 (over-stamping).
+    let k1 = rate_for_k(1, 5);
+    let k3 = rate_for_k(3, 5);
+    let k4 = rate_for_k(4, 5);
+    let k10 = rate_for_k(10, 5);
+    let interior = k3.min(k4);
+    assert!(
+        interior < k1,
+        "interior K ({interior:.3e}) must beat K=1 ({k1:.3e})"
+    );
+    assert!(
+        interior < k10,
+        "interior K ({interior:.3e}) must beat K=10 ({k10:.3e})"
+    );
+}
+
+#[test]
+fn figure3_theory_optimum_matches_measured_neighbourhood() {
+    // ln(2)·R/X ≈ 3.5. The model's curve is nearly flat over K ∈ {2,3,4}
+    // (within 18% of the minimum), so at miniature scale the measured
+    // best K must land in that flat neighbourhood, and the extremes must
+    // be strictly worse. The full-scale run (fig3 binary) resolves the
+    // paper's K = 4.
+    let mut rates = Vec::new();
+    for k in 1..=6 {
+        rates.push((k, rate_for_k(k, 6)));
+    }
+    let best = rates
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .copied()
+        .expect("non-empty");
+    assert!(
+        (2..=4).contains(&best.0),
+        "measured optimum K = {} (rate {:.3e}) outside the flat optimum region; \
+         full sweep: {rates:?}",
+        best.0,
+        best.1
+    );
+    let k1 = rates[0].1;
+    let k6 = rates[5].1;
+    assert!(best.1 < k1, "optimum must beat K=1 ({k1:.3e})");
+    assert!(best.1 < k6, "optimum must beat K=6 ({k6:.3e})");
+}
+
+#[test]
+fn figure4_shape_knee_below_design_lambda() {
+    // Error rate vs λ at fixed N: λ/4 of the design point must err far
+    // more; at/above the design point the rate is comparatively flat.
+    let n = 60;
+    let lambda_design = n as f64 / 200.0 * 1000.0; // X = 20
+    let run = |lambda: f64, seed| {
+        let c = SimConfig {
+            mean_send_interval_ms: lambda,
+            ..cfg(n, seed)
+        };
+        simulate_prob(&c, KeySpace::new(100, 4).unwrap()).unwrap().violation_rate()
+    };
+    let fast = run(lambda_design / 4.0, 7); // X = 80
+    let design = run(lambda_design, 7); // X = 20
+    let slow = run(lambda_design * 2.0, 7); // X = 10
+    assert!(
+        fast > 5.0 * design.max(1e-6),
+        "quartered λ must blow up the rate: {fast:.3e} vs {design:.3e}"
+    );
+    assert!(slow <= design * 1.5 + 1e-5, "slower sending must not hurt: {slow:.3e} vs {design:.3e}");
+}
+
+#[test]
+fn figure5_shape_rate_grows_with_n_at_fixed_lambda() {
+    // Fixed λ: doubling N doubles the aggregate rate and X, raising the
+    // error rate (Figure 5's growth past the estimate).
+    let lambda = 300.0; // small N stand-in for the paper's 5000 ms at N=1000
+    let run = |n: usize| {
+        let c = SimConfig {
+            mean_send_interval_ms: lambda,
+            ..cfg(n, 8)
+        };
+        simulate_prob(&c, KeySpace::new(100, 4).unwrap()).unwrap().violation_rate()
+    };
+    let small = run(30);
+    let large = run(90);
+    assert!(
+        large > small,
+        "3x N at fixed λ must raise the rate: {large:.3e} vs {small:.3e}"
+    );
+}
+
+#[test]
+fn figure6_shape_rate_flat_when_receive_rate_constant() {
+    // Constant aggregate rate: X is constant, so the rate must stay in
+    // the same ballpark as N grows (the paper: "it is the concurrency,
+    // not N, that matters").
+    let run = |n: usize| {
+        simulate_prob(&cfg(n, 9), KeySpace::new(100, 4).unwrap())
+            .unwrap()
+            .violation_rate()
+    };
+    let small = run(40);
+    let large = run(120);
+    assert!(small > 0.0 && large > 0.0, "both points must observe errors");
+    let ratio = large / small;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "constant-X rates should be within 5x: {small:.3e} vs {large:.3e}"
+    );
+}
+
+#[test]
+fn alert_recall_no_alert_means_no_error_on_late_messages() {
+    // §4.2's guarantee, checked globally: Algorithm 4 alerts bound the
+    // violations (alerts fire on every covered late arrival, violations
+    // are a subset of deliveries enabled by coverings).
+    let m = simulate_prob(&cfg(60, 10), KeySpace::new(64, 3).unwrap()).unwrap();
+    assert!(m.exact_violations > 0, "need errors for the check to bite");
+    assert!(
+        m.alg4_alerts >= m.exact_violations / 4,
+        "alert volume ({}) must be of the same order as violations ({})",
+        m.alg4_alerts,
+        m.exact_violations
+    );
+}
+
+#[test]
+fn paper_constants_are_what_the_runner_uses() {
+    assert_eq!(runner::PAPER_R, 100);
+    assert_eq!(runner::PAPER_K, 4);
+    assert_eq!(runner::PAPER_N, 1000);
+    assert_eq!(runner::PAPER_LAMBDA_MS, 5000.0);
+    assert_eq!(runner::PAPER_RECEIVE_RATE, 200.0);
+    let (ns, ks) = pcb_sim::figure3_defaults();
+    assert_eq!(ns, vec![500, 1000, 1500, 2000]);
+    assert!(ks.contains(&4));
+}
