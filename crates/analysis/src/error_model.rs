@@ -117,9 +117,7 @@ pub struct TheoryPoint {
 /// curve behind Figure 3.
 #[must_use]
 pub fn k_sweep(r: usize, k_max: usize, x: f64) -> Vec<TheoryPoint> {
-    (1..=k_max.min(r))
-        .map(|k| TheoryPoint { k, p_error: error_probability(r, k, x) })
-        .collect()
+    (1..=k_max.min(r)).map(|k| TheoryPoint { k, p_error: error_probability(r, k, x) }).collect()
 }
 
 #[cfg(test)]
@@ -218,10 +216,7 @@ mod tests {
         assert_eq!(sweep.len(), 10);
         assert_eq!(sweep[0].k, 1);
         assert_eq!(sweep[9].k, 10);
-        let best = sweep
-            .iter()
-            .min_by(|a, b| a.p_error.total_cmp(&b.p_error))
-            .unwrap();
+        let best = sweep.iter().min_by(|a, b| a.p_error.total_cmp(&b.p_error)).unwrap();
         assert!(best.k == 3 || best.k == 4);
     }
 }

@@ -26,9 +26,9 @@ pub use error_model::{
     concurrency, entry_covered_probability, error_probability, k_sweep, optimal_k,
     optimal_k_integer, wrong_delivery_bound, TheoryPoint,
 };
-pub use pnc::{
-    causal_reorder_probability, erf, expected_reorder_rate, normal_cdf,
-    predicted_violation_rate, reorder_probability,
-};
 pub use planner::{best_for_r, compression_vs_vector_clock, plan_for_target, Plan, PlanError};
+pub use pnc::{
+    causal_reorder_probability, erf, expected_reorder_rate, normal_cdf, predicted_violation_rate,
+    reorder_probability,
+};
 pub use stats::{quantile, wilson_interval, Histogram, Welford};

@@ -38,10 +38,9 @@ pub enum PlanError {
 impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::Infeasible { max_r, best_p } => write!(
-                f,
-                "target unreachable: best P_error at R={max_r} is {best_p:.3e}"
-            ),
+            Self::Infeasible { max_r, best_p } => {
+                write!(f, "target unreachable: best P_error at R={max_r} is {best_p:.3e}")
+            }
             Self::InvalidInput => write!(f, "concurrency and target must be positive"),
         }
     }
@@ -79,7 +78,7 @@ pub fn best_for_r(r: usize, x: f64) -> Plan {
 /// # Ok::<(), pcb_analysis::planner::PlanError>(())
 /// ```
 pub fn plan_for_target(x: f64, target: f64, max_r: usize) -> Result<Plan, PlanError> {
-    if !(x > 0.0) || !(target > 0.0) || max_r == 0 {
+    if x.is_nan() || x <= 0.0 || target.is_nan() || target <= 0.0 || max_r == 0 {
         return Err(PlanError::InvalidInput);
     }
     let meets = |r: usize| best_for_r(r, x).p_error <= target;

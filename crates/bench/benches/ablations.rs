@@ -14,9 +14,7 @@ const R: usize = 100;
 
 fn keys_k(k: usize, seed: u64) -> KeySet {
     let space = KeySpace::new(R, k).expect("space");
-    KeyAssigner::new(space, AssignmentPolicy::UniformRandom, seed)
-        .next_set()
-        .expect("assignment")
+    KeyAssigner::new(space, AssignmentPolicy::UniformRandom, seed).next_set().expect("assignment")
 }
 
 fn bench_increment_vs_merge(c: &mut Criterion) {

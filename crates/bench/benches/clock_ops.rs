@@ -6,8 +6,8 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pcb_clock::{
-    combinatorics, BinomialTable, KeyAssigner, KeySet, KeySpace, ProbClock, ProcessId,
-    Timestamp, VectorClock,
+    combinatorics, BinomialTable, KeyAssigner, KeySet, KeySpace, ProbClock, ProcessId, Timestamp,
+    VectorClock,
 };
 
 const R: usize = 100;
@@ -19,11 +19,8 @@ fn paper_space() -> KeySpace {
 }
 
 fn sample_keys(seed: u64) -> KeySet {
-    let mut assigner = KeyAssigner::new(
-        paper_space(),
-        pcb_clock::AssignmentPolicy::UniformRandom,
-        seed,
-    );
+    let mut assigner =
+        KeyAssigner::new(paper_space(), pcb_clock::AssignmentPolicy::UniformRandom, seed);
     assigner.next_set().expect("assignment")
 }
 

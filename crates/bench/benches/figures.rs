@@ -8,9 +8,7 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pcb_clock::KeySpace;
-use pcb_sim::{
-    simulate_fifo, simulate_immediate, simulate_prob, simulate_vector, SimConfig,
-};
+use pcb_sim::{simulate_fifo, simulate_immediate, simulate_prob, simulate_vector, SimConfig};
 
 fn mini_config(n: usize) -> SimConfig {
     SimConfig {

@@ -12,9 +12,7 @@ const K: usize = 4;
 
 fn keys(seed: u64) -> KeySet {
     let space = KeySpace::new(R, K).expect("space");
-    KeyAssigner::new(space, AssignmentPolicy::UniformRandom, seed)
-        .next_set()
-        .expect("assignment")
+    KeyAssigner::new(space, AssignmentPolicy::UniformRandom, seed).next_set().expect("assignment")
 }
 
 fn bench_broadcast(c: &mut Criterion) {

@@ -87,16 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let direct = simulate_prob(&cfg, space)?;
     row("direct (reliable)", 800, &direct);
     for fanout in [4, 8, 12] {
-        let cfg = SimConfig {
-            dissemination: Dissemination::Gossip { fanout },
-            ..cfg.clone()
-        };
+        let cfg = SimConfig { dissemination: Dissemination::Gossip { fanout }, ..cfg.clone() };
         let g = simulate_prob(&cfg, space)?;
         row(&format!("gossip fanout={fanout}"), 800, &g);
-        println!(
-            "{:>22} duplicates = {}, undelivered = {}",
-            "", g.duplicates, g.undelivered
-        );
+        println!("{:>22} duplicates = {}, undelivered = {}", "", g.duplicates, g.undelivered);
     }
     println!();
 

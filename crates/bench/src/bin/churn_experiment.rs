@@ -49,17 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     run("growing (2 joins/s)", Some(ChurnModel::growing(n / 2, 2.0)))?;
     run(
         "churning (joins + leaves)",
-        Some(ChurnModel {
-            mean_lifetime_ms: Some(10_000.0),
-            ..ChurnModel::growing(n / 2, 4.0)
-        }),
+        Some(ChurnModel { mean_lifetime_ms: Some(10_000.0), ..ChurnModel::growing(n / 2, 4.0) }),
     )?;
     run(
         "heavy churn (8 joins/s)",
-        Some(ChurnModel {
-            mean_lifetime_ms: Some(4000.0),
-            ..ChurnModel::growing(n / 2, 8.0)
-        }),
+        Some(ChurnModel { mean_lifetime_ms: Some(4000.0), ..ChurnModel::growing(n / 2, 8.0) }),
     )?;
 
     println!();

@@ -14,16 +14,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A configuration loaded well past the design point so violations are
     // plentiful: small N, constant 200 msg/s receive rate.
     let n = 120;
-    let v = epsilon_validation(pcb_sim::SweepOptions { scale: pcb_bench::scale().max(0.2), seed: pcb_bench::seed(), reps: 1 }, n)?;
+    let v = epsilon_validation(
+        pcb_sim::SweepOptions {
+            scale: pcb_bench::scale().max(0.2),
+            seed: pcb_bench::seed(),
+            reps: 1,
+        },
+        n,
+    )?;
     let m = &v.metrics;
-    println!("N = {n}, R = {}, K = {}, {} deliveries", runner::PAPER_R, runner::PAPER_K, m.deliveries);
+    println!(
+        "N = {n}, R = {}, K = {}, {} deliveries",
+        runner::PAPER_R,
+        runner::PAPER_K,
+        m.deliveries
+    );
     println!();
     println!("{:>22} {:>12} {:>12}", "metric", "count", "per delivery");
     println!("{:>22} {:>12} {:>12.3e}", "ε_min (paper lower)", m.eps_min, m.eps_min_rate());
-    println!(
-        "{:>22} {:>12} {:>12.3e}",
-        "exact violations", m.exact_violations, m.violation_rate()
-    );
+    println!("{:>22} {:>12} {:>12.3e}", "exact violations", m.exact_violations, m.violation_rate());
     println!("{:>22} {:>12} {:>12.3e}", "ε_max (paper upper)", m.eps_max, m.eps_max_rate());
     println!();
     assert!(v.brackets_exact(), "bounds must bracket the exact count");
@@ -47,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>22} {:>12} {:>12}", "signal", "count", "per delivery");
     println!("{:>22} {:>12} {:>12.3e}", "Algorithm 4 alerts", d.alg4_alerts, d.alg4_rate());
     println!("{:>22} {:>12} {:>12.3e}", "Algorithm 5 alerts", d.alg5_alerts, d.alg5_rate());
-    println!(
-        "{:>22} {:>12} {:>12.3e}",
-        "exact violations", d.exact_violations, d.violation_rate()
-    );
+    println!("{:>22} {:>12} {:>12.3e}", "exact violations", d.exact_violations, d.violation_rate());
     println!();
     println!(
         "Algorithm 5 cuts the alert volume {:.1}x while staying conservative.",

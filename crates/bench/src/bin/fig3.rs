@@ -12,18 +12,13 @@ use pcb_analysis::optimal_k;
 use pcb_sim::{figure3, figure3_defaults, render_csv, render_table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    pcb_bench::banner(
-        "Figure 3",
-        "errors vs K, constant 200 msg/s received per node, R = 100",
-    );
+    pcb_bench::banner("Figure 3", "errors vs K, constant 200 msg/s received per node, R = 100");
     let (ns, ks) = figure3_defaults();
     let rows = figure3(pcb_bench::sweep_options(), &ns, &ks)?;
 
     println!(
         "{}",
-        render_table("Figure 3 — violation rate per delivery", "N", &rows, |p| p
-            .n
-            .to_string())
+        render_table("Figure 3 — violation rate per delivery", "N", &rows, |p| p.n.to_string())
     );
 
     // Per-N empirical optimum vs theory.
@@ -35,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|r| r.n == n)
             .min_by(|a, b| a.violation_rate.total_cmp(&b.violation_rate));
         if let Some(best) = best {
-            println!(
-                "N = {n:>5}: measured best K = {} (rate {:.3e})",
-                best.k, best.violation_rate
-            );
+            println!("N = {n:>5}: measured best K = {} (rate {:.3e})", best.k, best.violation_rate);
         }
     }
 

@@ -17,9 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{}",
-        render_table("Figure 5 — violation rate per delivery", "N", &rows, |p| p
-            .n
-            .to_string())
+        render_table("Figure 5 — violation rate per delivery", "N", &rows, |p| p.n.to_string())
     );
 
     let at = |n: usize| rows.iter().find(|r| r.n == n);

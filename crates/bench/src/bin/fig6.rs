@@ -21,9 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{}",
-        render_table("Figure 6 — violation rate per delivery", "N", &rows, |p| p
-            .n
-            .to_string())
+        render_table("Figure 6 — violation rate per delivery", "N", &rows, |p| p.n.to_string())
     );
 
     let rates: Vec<f64> = rows.iter().map(|r| r.violation_rate).collect();

@@ -30,10 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for loss_pct in [0.0, 1.0, 5.0, 10.0, 20.0, 40.0] {
         let cfg = SimConfig {
-            loss: (loss_pct > 0.0).then(|| LossModel {
-                drop_probability: loss_pct / 100.0,
-                retransmit_ms: 200.0,
-            }),
+            loss: (loss_pct > 0.0)
+                .then(|| LossModel { drop_probability: loss_pct / 100.0, retransmit_ms: 200.0 }),
             ..base.clone()
         };
         let m = simulate_prob(&cfg, space)?;

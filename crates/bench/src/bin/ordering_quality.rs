@@ -13,8 +13,7 @@
 
 use pcb_clock::{
     compare::{judge, JudgmentQuality},
-    AssignmentPolicy, KeyAssigner, KeySet, KeySpace, ProbClock, ProcessId, Timestamp,
-    VectorClock,
+    AssignmentPolicy, KeyAssigner, KeySet, KeySpace, ProbClock, ProcessId, Timestamp, VectorClock,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -28,7 +27,13 @@ struct Sample {
 /// Random broadcast history over `n` processes: each step one process
 /// delivers a random subset of undelivered messages (respecting nothing —
 /// this is about *send* stamps, not delivery order) and then broadcasts.
-fn history(space: KeySpace, policy: AssignmentPolicy, n: usize, steps: usize, seed: u64) -> Vec<Sample> {
+fn history(
+    space: KeySpace,
+    policy: AssignmentPolicy,
+    n: usize,
+    steps: usize,
+    seed: u64,
+) -> Vec<Sample> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut assigner = KeyAssigner::new(space, policy, seed ^ 0xABCD);
     let keys: Vec<KeySet> = assigner.assign_n(n).expect("assignment");

@@ -6,9 +6,9 @@
 //! ```
 
 use pcb_analysis::{
-    best_for_r, causal_reorder_probability, compression_vs_vector_clock,
-    entry_covered_probability, error_probability, k_sweep, optimal_k, optimal_k_integer,
-    plan_for_target, predicted_violation_rate,
+    best_for_r, causal_reorder_probability, compression_vs_vector_clock, entry_covered_probability,
+    error_probability, k_sweep, optimal_k, optimal_k_integer, plan_for_target,
+    predicted_violation_rate,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!("=== Dimensioning for a target error at X = 20 ===\n");
-    println!(
-        "{:>10} {:>6} {:>4} {:>12} {:>18}",
-        "target", "R", "K", "bytes", "vs VC (N=10^4)"
-    );
+    println!("{:>10} {:>6} {:>4} {:>12} {:>18}", "target", "R", "K", "bytes", "vs VC (N=10^4)");
     for target in [1e-2, 1e-3, 1e-4, 1e-5, 1e-6] {
         let plan = plan_for_target(20.0, target, 1_000_000)?;
         println!(

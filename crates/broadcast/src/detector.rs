@@ -102,9 +102,7 @@ impl RecentListDetector {
         if !clock.is_covered(ts, sender_keys) {
             return false;
         }
-        self.list.iter().any(|entry| {
-            sender_keys.iter().all(|x| entry.timestamp[x] >= ts[x])
-        })
+        self.list.iter().any(|entry| sender_keys.iter().all(|x| entry.timestamp[x] >= ts[x]))
     }
 
     /// Records a delivery into the list `L`. Only the timestamp is needed:

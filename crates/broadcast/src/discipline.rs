@@ -6,7 +6,7 @@
 //! unordered delivery. Each discipline owns one process's ordering state
 //! and decides when a received message may be handed to the application.
 
-use pcb_clock::{KeySet, ProbClock, ProcessId, Timestamp, VectorClock};
+use pcb_clock::{Gap, KeySet, ProbClock, ProcessId, Timestamp, VectorClock};
 
 use crate::detector::RecentListDetector;
 
@@ -56,6 +56,57 @@ pub trait Discipline {
     /// identity/keys. Default: no state to adopt.
     fn adopt_state(&mut self, donor: &Self) {
         let _ = donor;
+    }
+
+    // --- Wake channels -------------------------------------------------
+    //
+    // Entry-indexed engines ask the discipline *what* a blocked message
+    // waits for instead of re-running `is_deliverable` over the whole
+    // pending queue after every delivery. A discipline exposes
+    // `channel_count` monotone counters; a blocked message parks on the
+    // first channel whose wait-condition fails until that channel's value
+    // reaches the reported threshold. The defaults collapse to a single
+    // "anything happened" channel with threshold 0, which wakes every
+    // parked message on every delivery — exactly the legacy rescan — so
+    // existing implementations stay correct without overriding anything.
+
+    /// Number of wake channels the delivery guard reads.
+    fn channel_count(&self) -> usize {
+        1
+    }
+
+    /// Where `stamp` currently blocks, scanning channels from `start`
+    /// (the channel it last parked on; re-checking earlier channels is
+    /// unnecessary because channel values only grow between
+    /// [`Discipline::adopt_state`] calls). [`Gap::Never`] marks stamps no
+    /// future delivery can unblock (e.g. a stale sequence number).
+    fn wait_gap(&self, sender: ProcessId, keys: &KeySet, stamp: &Self::Stamp, start: usize) -> Gap {
+        let _ = start;
+        if self.is_deliverable(sender, keys, stamp) {
+            Gap::Ready
+        } else {
+            // Threshold 0 on channel 0: woken by every delivery.
+            Gap::Blocked { entry: 0, required: 0 }
+        }
+    }
+
+    /// Current value of a wake channel.
+    fn channel_value(&self, channel: usize) -> u64 {
+        let _ = channel;
+        0
+    }
+
+    /// Appends to `out` the channels the delivery of (`sender`, `keys`,
+    /// `stamp`) advances. Called *before* [`Discipline::record_delivery`].
+    fn advanced_channels(
+        &self,
+        sender: ProcessId,
+        keys: &KeySet,
+        stamp: &Self::Stamp,
+        out: &mut Vec<usize>,
+    ) {
+        let _ = (sender, keys, stamp);
+        out.push(0);
     }
 }
 
@@ -122,6 +173,29 @@ impl Discipline for ProbDiscipline {
     fn adopt_state(&mut self, donor: &Self) {
         self.clock.reset_to(donor.clock.vector().clone());
     }
+
+    fn channel_count(&self) -> usize {
+        self.clock.len()
+    }
+
+    fn wait_gap(&self, _sender: ProcessId, keys: &KeySet, stamp: &Timestamp, start: usize) -> Gap {
+        self.clock.deliverability_gap_from(stamp, keys, start)
+    }
+
+    fn channel_value(&self, channel: usize) -> u64 {
+        self.clock.vector().entries()[channel]
+    }
+
+    fn advanced_channels(
+        &self,
+        _sender: ProcessId,
+        keys: &KeySet,
+        _stamp: &Timestamp,
+        out: &mut Vec<usize>,
+    ) {
+        // Algorithm 2 increments exactly the sender's K entries.
+        out.extend(keys.iter());
+    }
 }
 
 /// [`ProbDiscipline`] plus the Algorithm 5 recent-list detector — used by
@@ -182,6 +256,28 @@ impl Discipline for DetectingProbDiscipline {
 
     fn adopt_state(&mut self, donor: &Self) {
         self.inner.adopt_state(&donor.inner);
+    }
+
+    fn channel_count(&self) -> usize {
+        self.inner.channel_count()
+    }
+
+    fn wait_gap(&self, sender: ProcessId, keys: &KeySet, stamp: &Timestamp, start: usize) -> Gap {
+        self.inner.wait_gap(sender, keys, stamp, start)
+    }
+
+    fn channel_value(&self, channel: usize) -> u64 {
+        self.inner.channel_value(channel)
+    }
+
+    fn advanced_channels(
+        &self,
+        sender: ProcessId,
+        keys: &KeySet,
+        stamp: &Timestamp,
+        out: &mut Vec<usize>,
+    ) {
+        self.inner.advanced_channels(sender, keys, stamp, out);
     }
 }
 
@@ -246,6 +342,33 @@ impl Discipline for MergeProbDiscipline {
     fn adopt_state(&mut self, donor: &Self) {
         self.clock.reset_to(donor.clock.vector().clone());
     }
+
+    fn channel_count(&self) -> usize {
+        self.clock.len()
+    }
+
+    fn wait_gap(&self, _sender: ProcessId, keys: &KeySet, stamp: &Timestamp, start: usize) -> Gap {
+        self.clock.deliverability_gap_from(stamp, keys, start)
+    }
+
+    fn channel_value(&self, channel: usize) -> u64 {
+        self.clock.vector().entries()[channel]
+    }
+
+    fn advanced_channels(
+        &self,
+        _sender: ProcessId,
+        _keys: &KeySet,
+        stamp: &Timestamp,
+        out: &mut Vec<usize>,
+    ) {
+        // Merge-max advances exactly the entries where the stamp exceeds
+        // the local vector.
+        let local = self.clock.vector().entries();
+        out.extend(
+            stamp.entries().iter().enumerate().filter(|&(i, &ts)| ts > local[i]).map(|(i, _)| i),
+        );
+    }
 }
 
 /// Exact causal order via classical vector clocks — the `(N, N, 1)`
@@ -296,6 +419,51 @@ impl Discipline for VectorDiscipline {
 
     fn adopt_state(&mut self, donor: &Self) {
         self.clock = donor.clock.clone();
+    }
+
+    fn channel_count(&self) -> usize {
+        self.clock.len()
+    }
+
+    fn wait_gap(
+        &self,
+        sender: ProcessId,
+        _keys: &KeySet,
+        stamp: &VectorClock,
+        start: usize,
+    ) -> Gap {
+        let local = self.clock.counters();
+        let ts = stamp.counters();
+        let j = sender.index();
+        // The guard needs local[j] == ts[j] - 1 exactly: once the local
+        // counter passes that, no delivery can ever roll it back.
+        if ts[j] == 0 || local[j] >= ts[j] {
+            return Gap::Never;
+        }
+        for (c, (&mine, &theirs)) in local.iter().zip(ts).enumerate().skip(start) {
+            let required = if c == j { theirs - 1 } else { theirs };
+            if mine < required {
+                return Gap::Blocked { entry: c, required };
+            }
+        }
+        Gap::Ready
+    }
+
+    fn channel_value(&self, channel: usize) -> u64 {
+        self.clock.counters()[channel]
+    }
+
+    fn advanced_channels(
+        &self,
+        _sender: ProcessId,
+        _keys: &KeySet,
+        stamp: &VectorClock,
+        out: &mut Vec<usize>,
+    ) {
+        let local = self.clock.counters();
+        out.extend(
+            stamp.counters().iter().enumerate().filter(|&(i, &ts)| ts > local[i]).map(|(i, _)| i),
+        );
     }
 }
 
@@ -349,6 +517,36 @@ impl Discipline for FifoDiscipline {
 
     fn adopt_state(&mut self, donor: &Self) {
         self.next_expected.clone_from(&donor.next_expected);
+    }
+
+    fn channel_count(&self) -> usize {
+        self.next_expected.len()
+    }
+
+    fn wait_gap(&self, sender: ProcessId, _keys: &KeySet, stamp: &u64, _start: usize) -> Gap {
+        let j = sender.index();
+        let next = self.next_expected[j];
+        if next == *stamp {
+            Gap::Ready
+        } else if next < *stamp {
+            Gap::Blocked { entry: j, required: *stamp }
+        } else {
+            Gap::Never
+        }
+    }
+
+    fn channel_value(&self, channel: usize) -> u64 {
+        self.next_expected[channel]
+    }
+
+    fn advanced_channels(
+        &self,
+        sender: ProcessId,
+        _keys: &KeySet,
+        _stamp: &u64,
+        out: &mut Vec<usize>,
+    ) {
+        out.push(sender.index());
     }
 }
 
@@ -513,13 +711,91 @@ mod tests {
     }
 
     #[test]
+    fn prob_wake_channels_mirror_the_gap() {
+        let mut a = ProbDiscipline::new(keys(&[0, 1]));
+        let rx = ProbDiscipline::new(keys(&[2, 3]));
+        let p = ProcessId::new(0);
+        let f_a = keys(&[0, 1]);
+        let _ = a.stamp_send();
+        let ts2 = a.stamp_send();
+
+        assert_eq!(rx.channel_count(), 4);
+        // Second send blocks on the first unmet entry (0), needing one
+        // prior delivery there.
+        match rx.wait_gap(p, &f_a, &ts2, 0) {
+            Gap::Blocked { entry, required } => {
+                assert_eq!(entry, 0);
+                assert_eq!(required, 1);
+            }
+            other => panic!("expected Blocked, got {other:?}"),
+        }
+        let mut advanced = Vec::new();
+        rx.advanced_channels(p, &f_a, &ts2, &mut advanced);
+        assert_eq!(advanced, vec![0, 1], "delivery advances the sender's keys");
+        assert_eq!(rx.channel_value(0), 0);
+    }
+
+    #[test]
+    fn vector_wake_gap_flags_stale_stamps_never() {
+        let mut s = VectorDiscipline::new(ProcessId::new(0), 3);
+        let mut rx = VectorDiscipline::new(ProcessId::new(1), 3);
+        let dummy = keys(&[0, 1]);
+        let p0 = ProcessId::new(0);
+        let m1 = s.stamp_send();
+        let m2 = s.stamp_send();
+
+        match rx.wait_gap(p0, &dummy, &m2, 0) {
+            Gap::Blocked { entry, required } => {
+                assert_eq!(entry, 0);
+                assert_eq!(required, 1, "needs m1 delivered first");
+            }
+            other => panic!("expected Blocked, got {other:?}"),
+        }
+        rx.record_delivery(0, p0, &dummy, &m1);
+        assert_eq!(rx.wait_gap(p0, &dummy, &m2, 0), Gap::Ready);
+        rx.record_delivery(1, p0, &dummy, &m2);
+        // A duplicate of m1 can never be delivered again.
+        assert_eq!(rx.wait_gap(p0, &dummy, &m1, 0), Gap::Never);
+    }
+
+    #[test]
+    fn fifo_wake_gap_tracks_next_expected() {
+        let mut s = FifoDiscipline::new(2);
+        let mut rx = FifoDiscipline::new(2);
+        let dummy = keys(&[0, 1]);
+        let p0 = ProcessId::new(0);
+        let m1 = s.stamp_send();
+        let m2 = s.stamp_send();
+        assert_eq!(rx.wait_gap(p0, &dummy, &m2, 0), Gap::Blocked { entry: 0, required: 2 });
+        rx.record_delivery(0, p0, &dummy, &m1);
+        assert_eq!(rx.channel_value(0), 2);
+        assert_eq!(rx.wait_gap(p0, &dummy, &m2, 0), Gap::Ready);
+        assert_eq!(rx.wait_gap(p0, &dummy, &m1, 0), Gap::Never, "stale seq");
+        let mut advanced = Vec::new();
+        rx.advanced_channels(p0, &dummy, &m1, &mut advanced);
+        assert_eq!(advanced, vec![0]);
+    }
+
+    #[test]
+    fn default_wake_channels_reproduce_the_rescan_contract() {
+        // ImmediateDiscipline keeps the trait defaults: one catch-all
+        // channel at threshold 0, woken by every delivery.
+        let rx = ImmediateDiscipline::new();
+        assert_eq!(rx.channel_count(), 1);
+        assert_eq!(rx.wait_gap(ProcessId::new(0), &keys(&[0, 1]), &(), 0), Gap::Ready);
+        let mut advanced = Vec::new();
+        rx.advanced_channels(ProcessId::new(0), &keys(&[0, 1]), &(), &mut advanced);
+        assert_eq!(advanced, vec![0]);
+    }
+
+    #[test]
     fn immediate_always_ready() {
         let mut s = ImmediateDiscipline::new();
-        let stamp = s.stamp_send();
-        let mut rx = ImmediateDiscipline::default();
-        assert!(rx.is_deliverable(ProcessId::new(0), &keys(&[0, 1]), &stamp));
+        s.stamp_send(); // the stamp is `()`
+        let mut rx = ImmediateDiscipline::new();
+        assert!(rx.is_deliverable(ProcessId::new(0), &keys(&[0, 1]), &()));
         assert_eq!(
-            rx.record_delivery(0, ProcessId::new(0), &keys(&[0, 1]), &stamp),
+            rx.record_delivery(0, ProcessId::new(0), &keys(&[0, 1]), &()),
             Alerts::default()
         );
         assert_eq!(ImmediateDiscipline::stamp_wire_size(&()), 0);

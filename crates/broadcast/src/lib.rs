@@ -35,14 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dedup;
 pub mod detector;
 pub mod discipline;
 pub mod membership;
 pub mod message;
+pub mod pending;
 pub mod process;
 pub mod recovery;
 pub mod wire;
 
+pub use dedup::DedupFilter;
 pub use detector::{instant_alert, RecentListDetector};
 pub use discipline::{
     Alerts, DetectingProbDiscipline, Discipline, FifoDiscipline, ImmediateDiscipline,
@@ -50,6 +53,7 @@ pub use discipline::{
 };
 pub use membership::{Group, MemberState};
 pub use message::{Message, MessageId};
+pub use pending::{WakeupIndex, WakeupStats};
 pub use process::{Delivery, PcbConfig, PcbProcess, ProcessStats};
 pub use recovery::{MessageStore, SyncRequest, SyncResponse};
 pub use wire::{control_size, decode, encode, WireError};

@@ -122,11 +122,7 @@ mod tests {
     use super::*;
 
     fn group() -> Group {
-        Group::new(
-            KeySpace::new(10, 3).unwrap(),
-            AssignmentPolicy::UniformRandom,
-            1,
-        )
+        Group::new(KeySpace::new(10, 3).unwrap(), AssignmentPolicy::UniformRandom, 1)
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Entry-indexed wake-up engine for the pending queue.
+//!
+//! The seed implementation rescanned the whole pending queue after every
+//! delivery (`O(P)` per delivery, `O(P²)` per cascade). This module
+//! replaces the rescan with an index keyed by what each blocked message
+//! is actually waiting for:
+//!
+//! * Every blocked message is registered on exactly **one** clock entry —
+//!   the first entry whose Algorithm 2 wait-condition fails — together
+//!   with the local value that entry must reach
+//!   ([`pcb_clock::ProbClock::deliverability_gap`]).
+//! * Each entry keeps its waiters in a min-heap ordered by that required
+//!   threshold, so a delivery (which advances exactly the sender's `K`
+//!   entries) wakes only the waiters whose threshold was just crossed —
+//!   not every message that happens to share the entry.
+//! * Woken messages resume their gap scan from the entry they were
+//!   blocked on (sound because the wait-condition is monotone in the
+//!   local clock), re-registering on the next blocked entry or moving to
+//!   the ready heap.
+//! * The ready heap is ordered by arrival ticket, which reproduces the
+//!   naive scan's delivery order exactly: the linear rescan always
+//!   delivered the lowest-queue-index deliverable message, and since
+//!   deliverability is monotone both engines repeatedly pick the
+//!   minimum-arrival deliverable message. The differential test in
+//!   `tests/differential.rs` replays identical traces through both paths
+//!   and asserts identical delivery orders.
+//!
+//! Per-message cost across its whole pending lifetime: one `O(R)` gap
+//! scan amortized over all re-checks (the scan cursor only moves right),
+//! plus `O(log W)` heap traffic per re-registration, where `W` is the
+//! number of waiters on one entry. A delivery's wake-up cost is
+//! proportional to the number of *actually unblocked* waiters on its `K`
+//! entries, not to the pending-queue length.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pcb_clock::{Gap, ProbClock};
+
+use crate::message::Message;
+
+/// Counters describing the index's work — the observable difference
+/// between `O(waiters-on-K-entries)` wake-ups and an `O(P)` rescan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WakeupStats {
+    /// Gap evaluations performed (insert + every wake re-check). The
+    /// naive engine's equivalent is its deliverability scans; the ratio
+    /// of the two is the measured speedup.
+    pub gap_checks: u64,
+    /// Waiters popped from entry heaps by clock advances.
+    pub wakeups: u64,
+    /// Messages that were deliverable on arrival (never waited).
+    pub ready_on_arrival: u64,
+    /// Largest number of waiters woken by a single delivery.
+    pub max_wake_fanout: u64,
+    /// High-water mark of concurrently indexed (pending) messages.
+    pub max_pending: usize,
+}
+
+/// A pending message plus its bookkeeping.
+#[derive(Debug, Clone)]
+struct Slot<P> {
+    arrived: u64,
+    ticket: u64,
+    /// Resume point for the gap scan; strictly increases across
+    /// re-registrations, bounding total scan work at `O(R)` per message.
+    scan_from: usize,
+    message: Message<P>,
+}
+
+/// The entry-indexed pending set. Owns the blocked messages; the caller
+/// owns the clock and reports which entries each delivery advanced.
+#[derive(Debug, Clone)]
+pub struct WakeupIndex<P> {
+    slots: Vec<Option<Slot<P>>>,
+    free: Vec<usize>,
+    /// Per clock entry: min-heap of `(required, ticket, slot)` waiters.
+    waiters: Vec<BinaryHeap<Reverse<(u64, u64, usize)>>>,
+    /// Min-heap of `(ticket, slot)` messages whose guard passed.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    next_ticket: u64,
+    len: usize,
+    stats: WakeupStats,
+}
+
+impl<P> WakeupIndex<P> {
+    /// An empty index over a clock of `r` entries.
+    #[must_use]
+    pub fn new(r: usize) -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            waiters: (0..r).map(|_| BinaryHeap::new()).collect(),
+            ready: BinaryHeap::new(),
+            next_ticket: 0,
+            len: 0,
+            stats: WakeupStats::default(),
+        }
+    }
+
+    /// Number of messages currently indexed (waiting or ready).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Work counters.
+    #[must_use]
+    pub fn stats(&self) -> WakeupStats {
+        self.stats
+    }
+
+    /// Age of the oldest indexed message relative to `now`.
+    #[must_use]
+    pub fn oldest_age(&self, now: u64) -> Option<u64> {
+        self.slots.iter().flatten().map(|slot| now.saturating_sub(slot.arrived)).max()
+    }
+
+    /// Indexes a newly arrived message, classifying it against `clock`:
+    /// deliverable messages go to the ready heap (pop them with
+    /// [`WakeupIndex::pop_ready`]), blocked ones onto their first blocked
+    /// entry's waiter heap.
+    pub fn insert(&mut self, arrived: u64, message: Message<P>, clock: &ProbClock) {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let slot = Slot { arrived, ticket, scan_from: 0, message };
+        let index = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.len += 1;
+        self.stats.max_pending = self.stats.max_pending.max(self.len);
+        if self.classify(index, clock) {
+            self.stats.ready_on_arrival += 1;
+        }
+    }
+
+    /// Routes slot `index` by its current gap; returns whether it became
+    /// ready. The scan resumes where the last one stopped.
+    fn classify(&mut self, index: usize, clock: &ProbClock) -> bool {
+        let slot = self.slots[index].as_mut().expect("classify on live slot");
+        self.stats.gap_checks += 1;
+        let gap = clock.deliverability_gap_from(
+            slot.message.timestamp(),
+            slot.message.keys(),
+            slot.scan_from,
+        );
+        match gap {
+            Gap::Ready => {
+                self.ready.push(Reverse((slot.ticket, index)));
+                true
+            }
+            Gap::Blocked { entry, required } => {
+                debug_assert!(entry >= slot.scan_from, "gap scan moved left");
+                slot.scan_from = entry;
+                self.waiters[entry].push(Reverse((required, slot.ticket, index)));
+                false
+            }
+            Gap::Never => unreachable!("probabilistic guard never yields Never"),
+        }
+    }
+
+    /// Reacts to the clock advancing on `channels` (the sender's key set
+    /// of the message just delivered): wakes exactly the waiters whose
+    /// required threshold is now met and re-classifies them.
+    pub fn on_clock_advance<I>(&mut self, channels: I, clock: &ProbClock)
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let local = clock.vector().entries();
+        let mut fanout = 0u64;
+        for channel in channels {
+            while let Some(&Reverse((required, _, slot))) = self.waiters[channel].peek() {
+                if local[channel] < required {
+                    break;
+                }
+                self.waiters[channel].pop();
+                // A popped waiter may be a ghost of a slot re-registered
+                // elsewhere? No: each live slot is registered in exactly
+                // one heap, so the slot is live and parked right here.
+                fanout += 1;
+                self.classify(slot, clock);
+            }
+        }
+        self.stats.wakeups += fanout;
+        self.stats.max_wake_fanout = self.stats.max_wake_fanout.max(fanout);
+    }
+
+    /// Removes and returns the ready message with the smallest arrival
+    /// ticket — the exact message the naive front-to-back rescan would
+    /// deliver next. Deliverability is monotone, so ready entries never
+    /// need re-validation.
+    pub fn pop_ready(&mut self) -> Option<Message<P>> {
+        let Reverse((_, index)) = self.ready.pop()?;
+        let slot = self.slots[index].take().expect("ready slot is live");
+        self.free.push(index);
+        self.len -= 1;
+        Some(slot.message)
+    }
+
+    /// Throws away all index structure and re-classifies every pending
+    /// message from scratch. Needed after a non-monotone clock change
+    /// (state installation may overwrite the vector arbitrarily), where
+    /// resume points and parked thresholds are no longer trustworthy.
+    pub fn rebuild(&mut self, clock: &ProbClock) {
+        for heap in &mut self.waiters {
+            heap.clear();
+        }
+        self.ready.clear();
+        for index in 0..self.slots.len() {
+            if let Some(slot) = self.slots[index].as_mut() {
+                slot.scan_from = 0;
+                self.classify(index, clock);
+            }
+        }
+    }
+}
+
+/// The seed's linear-rescan delivery engine, kept verbatim for
+/// differential testing and benchmarking against the index. Tracks its
+/// deliverability-scan count so work ratios can be asserted
+/// deterministically.
+#[cfg(any(test, feature = "naive"))]
+pub mod naive {
+    use std::collections::VecDeque;
+
+    use pcb_clock::ProbClock;
+
+    use crate::message::Message;
+
+    /// A pending queue driven by the original restart-scan loop.
+    #[derive(Debug, Clone)]
+    pub struct NaiveQueue<P> {
+        pending: VecDeque<Message<P>>,
+        /// Number of `is_deliverable` evaluations performed.
+        pub scan_steps: u64,
+    }
+
+    impl<P> Default for NaiveQueue<P> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<P> NaiveQueue<P> {
+        /// An empty queue.
+        #[must_use]
+        pub fn new() -> Self {
+            Self { pending: VecDeque::new(), scan_steps: 0 }
+        }
+
+        /// Messages still blocked.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.pending.len()
+        }
+
+        /// Whether nothing is pending.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.pending.is_empty()
+        }
+
+        /// Buffers an arrival and runs the seed's delivery loop: scan
+        /// front-to-back, deliver the first ready message (recording it
+        /// on `clock`), restart from the front, stop at a full pass with
+        /// no delivery. Returns the delivered messages in order.
+        pub fn on_receive(
+            &mut self,
+            message: Message<P>,
+            clock: &mut ProbClock,
+        ) -> Vec<Message<P>> {
+            self.pending.push_back(message);
+            self.drain(clock)
+        }
+
+        /// The seed's restart-scan loop (without the dead outer
+        /// `delivered_any` loop — the inner `i = 0` restart already
+        /// reaches the fixpoint; see the drain rewrite notes).
+        pub fn drain(&mut self, clock: &mut ProbClock) -> Vec<Message<P>> {
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < self.pending.len() {
+                self.scan_steps += 1;
+                let msg = &self.pending[i];
+                if clock.is_deliverable(msg.timestamp(), msg.keys()) {
+                    let msg = self.pending.remove(i).expect("index in bounds");
+                    clock.record_delivery(msg.keys());
+                    out.push(msg);
+                    i = 0;
+                } else {
+                    i += 1;
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcb_clock::{KeySet, KeySpace, ProcessId};
+    use std::sync::Arc;
+
+    use crate::message::MessageId;
+
+    fn space() -> KeySpace {
+        KeySpace::new(4, 2).unwrap()
+    }
+
+    fn msg(sender: usize, seq: u64, keys: &[usize], ts: pcb_clock::Timestamp) -> Message<()> {
+        Message::new(
+            MessageId::new(ProcessId::new(sender), seq),
+            Arc::new(KeySet::from_entries(space(), keys).unwrap()),
+            ts,
+            (),
+        )
+    }
+
+    #[test]
+    fn ready_message_pops_immediately() {
+        let clock = ProbClock::new(space());
+        let mut sender = ProbClock::new(space());
+        let keys = [0, 1];
+        let ts = sender.stamp_send(&KeySet::from_entries(space(), &keys).unwrap());
+
+        let mut index = WakeupIndex::new(4);
+        index.insert(0, msg(0, 1, &keys, ts), &clock);
+        assert_eq!(index.len(), 1);
+        assert!(index.pop_ready().is_some());
+        assert!(index.is_empty());
+        assert_eq!(index.stats().ready_on_arrival, 1);
+    }
+
+    #[test]
+    fn blocked_message_wakes_on_threshold() {
+        let mut clock = ProbClock::new(space());
+        let f = KeySet::from_entries(space(), &[1, 2]).unwrap();
+        let mut sender = ProbClock::new(space());
+        let ts1 = sender.stamp_send(&f);
+        let ts2 = sender.stamp_send(&f);
+
+        let mut index = WakeupIndex::new(4);
+        index.insert(0, msg(1, 2, &[1, 2], ts2), &clock);
+        assert!(index.pop_ready().is_none(), "FIFO gap blocks the second send");
+
+        index.insert(1, msg(1, 1, &[1, 2], ts1), &clock);
+        let first = index.pop_ready().expect("first send is ready");
+        assert_eq!(first.id().seq(), 1);
+
+        clock.record_delivery(&f);
+        index.on_clock_advance(f.iter(), &clock);
+        let second = index.pop_ready().expect("threshold crossed");
+        assert_eq!(second.id().seq(), 2);
+        assert!(index.is_empty());
+        assert!(index.stats().wakeups >= 1);
+    }
+
+    #[test]
+    fn same_entry_waiters_wake_selectively() {
+        // Three FIFO sends from one sender, arriving in reverse: each
+        // delivery must wake exactly the next message in the chain, not
+        // every waiter parked on the shared entries.
+        let mut clock = ProbClock::new(space());
+        let f = KeySet::from_entries(space(), &[0, 1]).unwrap();
+        let mut sender = ProbClock::new(space());
+        let stamps: Vec<_> = (0..3).map(|_| sender.stamp_send(&f)).collect();
+
+        let mut index = WakeupIndex::new(4);
+        for (k, ts) in stamps.iter().enumerate().rev() {
+            index.insert(0, msg(0, k as u64 + 1, &[0, 1], ts.clone()), &clock);
+        }
+        let mut order = Vec::new();
+        while let Some(m) = index.pop_ready() {
+            clock.record_delivery(m.keys());
+            let keys: Vec<usize> = m.keys().iter().collect();
+            order.push(m.id().seq());
+            index.on_clock_advance(keys, &clock);
+        }
+        assert_eq!(order, vec![1, 2, 3]);
+        // Selective wake-up: each delivery woke exactly one waiter.
+        assert_eq!(index.stats().max_wake_fanout, 1);
+    }
+
+    #[test]
+    fn oldest_age_tracks_arrivals() {
+        let clock = ProbClock::new(space());
+        let f = KeySet::from_entries(space(), &[1, 2]).unwrap();
+        let mut sender = ProbClock::new(space());
+        let _ = sender.stamp_send(&f);
+        let ts2 = sender.stamp_send(&f);
+
+        let mut index = WakeupIndex::new(4);
+        assert_eq!(index.oldest_age(100), None);
+        index.insert(10, msg(1, 2, &[1, 2], ts2), &clock);
+        assert_eq!(index.oldest_age(100), Some(90));
+    }
+
+    #[test]
+    fn rebuild_reclassifies_after_clock_overwrite() {
+        let mut clock = ProbClock::new(space());
+        let f = KeySet::from_entries(space(), &[1, 2]).unwrap();
+        let mut sender = ProbClock::new(space());
+        let _ = sender.stamp_send(&f);
+        let ts2 = sender.stamp_send(&f);
+
+        let mut index = WakeupIndex::new(4);
+        index.insert(0, msg(1, 2, &[1, 2], ts2), &clock);
+        assert!(index.pop_ready().is_none());
+
+        // Snapshot install: vector jumps forward without any delivery.
+        clock.reset_to(pcb_clock::Timestamp::from_entries(vec![0, 1, 1, 0]));
+        index.rebuild(&clock);
+        assert!(index.pop_ready().is_some(), "rebuild sees the new vector");
+    }
+
+    #[test]
+    fn naive_queue_matches_index_on_small_trace() {
+        let f_a = KeySet::from_entries(space(), &[0, 1]).unwrap();
+        let f_b = KeySet::from_entries(space(), &[1, 2]).unwrap();
+        let mut a = ProbClock::new(space());
+        let mut b = ProbClock::new(space());
+        let m1 = a.stamp_send(&f_a);
+        b.record_delivery(&f_a);
+        let m2 = b.stamp_send(&f_b);
+
+        let arrivals = vec![msg(1, 1, &[1, 2], m2), msg(0, 1, &[0, 1], m1)];
+
+        let mut naive_clock = ProbClock::new(space());
+        let mut naive = naive::NaiveQueue::new();
+        let mut naive_order = Vec::new();
+        for m in arrivals.clone() {
+            for d in naive.on_receive(m, &mut naive_clock) {
+                naive_order.push(d.id());
+            }
+        }
+
+        let mut clock = ProbClock::new(space());
+        let mut index = WakeupIndex::new(4);
+        let mut indexed_order = Vec::new();
+        for m in arrivals {
+            index.insert(0, m, &clock);
+            while let Some(d) = index.pop_ready() {
+                clock.record_delivery(d.keys());
+                let keys: Vec<usize> = d.keys().iter().collect();
+                indexed_order.push(d.id());
+                index.on_clock_advance(keys, &clock);
+            }
+        }
+        assert_eq!(naive_order, indexed_order);
+        assert_eq!(naive_order.len(), 2);
+    }
+}

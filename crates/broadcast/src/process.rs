@@ -1,19 +1,20 @@
 //! The probabilistic causal broadcast endpoint (paper §4.1).
 //!
 //! A [`PcbProcess`] owns one process's protocol state: its key set
-//! `f(p_i)`, the `R`-entry clock, a pending queue of received-but-not-yet
-//! -deliverable messages, optional duplicate suppression, and the two
+//! `f(p_i)`, the `R`-entry clock, an entry-indexed pending set of
+//! received-but-not-yet-deliverable messages ([`crate::pending`]),
+//! bounded duplicate suppression ([`crate::dedup`]), and the two
 //! delivery-error detectors. Transports (the simulator, the threaded
 //! runtime, or a real network) move [`Message`]s between endpoints.
 
-use std::collections::HashSet;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use pcb_clock::{KeySet, ProbClock, ProcessId};
 
+use crate::dedup::DedupFilter;
 use crate::detector::{instant_alert, RecentListDetector};
 use crate::message::{Message, MessageId};
+use crate::pending::{WakeupIndex, WakeupStats};
 
 /// Tuning knobs for a [`PcbProcess`].
 #[derive(Debug, Clone)]
@@ -91,8 +92,8 @@ pub struct PcbProcess<P> {
     keys: Arc<KeySet>,
     clock: ProbClock,
     seq: u64,
-    pending: VecDeque<(u64, Message<P>)>,
-    seen: HashSet<MessageId>,
+    pending: WakeupIndex<P>,
+    seen: DedupFilter,
     recent: Option<RecentListDetector>,
     config: PcbConfig,
     stats: ProcessStats,
@@ -110,13 +111,14 @@ impl<P> PcbProcess<P> {
     pub fn with_config(id: ProcessId, keys: KeySet, config: PcbConfig) -> Self {
         let clock = ProbClock::new(keys.space());
         let recent = config.recent_window.map(RecentListDetector::new);
+        let pending = WakeupIndex::new(clock.len());
         Self {
             id,
             keys: Arc::new(keys),
             clock,
             seq: 0,
-            pending: VecDeque::new(),
-            seen: HashSet::new(),
+            pending,
+            seen: DedupFilter::new(),
             recent,
             config,
             stats: ProcessStats::default(),
@@ -153,23 +155,27 @@ impl<P> PcbProcess<P> {
     /// ([`crate::recovery`]).
     #[must_use]
     pub fn oldest_pending_age(&self, now: u64) -> Option<u64> {
-        self.pending
-            .iter()
-            .map(|(arrived, _)| now.saturating_sub(*arrived))
-            .max()
+        self.pending.oldest_age(now)
     }
 
     /// Ids of every message this endpoint has seen (delivered, pending,
     /// or own broadcasts) — the `known` set of a
     /// [`crate::recovery::SyncRequest`]. Empty when dedup is disabled.
     pub fn seen_ids(&self) -> impl Iterator<Item = MessageId> + '_ {
-        self.seen.iter().copied()
+        self.seen.iter()
     }
 
     /// Lifetime counters.
     #[must_use]
     pub fn stats(&self) -> ProcessStats {
         self.stats
+    }
+
+    /// Work counters of the wake-up index: gap checks, wake fan-out,
+    /// pending high-water mark.
+    #[must_use]
+    pub fn wakeup_stats(&self) -> WakeupStats {
+        self.pending.stats()
     }
 
     /// **Algorithm 1.** Stamps and returns a broadcast message carrying
@@ -196,7 +202,7 @@ impl<P> PcbProcess<P> {
             self.stats.duplicates += 1;
             return Vec::new();
         }
-        self.pending.push_back((now, message));
+        self.pending.insert(now, message, &self.clock);
         self.stats.max_pending = self.stats.max_pending.max(self.pending.len());
         self.drain(now)
     }
@@ -209,35 +215,27 @@ impl<P> PcbProcess<P> {
 
     /// Installs a vector snapshot from an existing member (state transfer
     /// for a joining process) and drains anything that became deliverable.
+    /// The snapshot can move the clock arbitrarily (not just forward), so
+    /// the wake-up index is rebuilt rather than incrementally advanced.
     pub fn install_state(&mut self, vector: pcb_clock::Timestamp, now: u64) -> Vec<Delivery<P>> {
         self.clock.reset_to(vector);
+        self.pending.rebuild(&self.clock);
         self.drain(now)
     }
 
+    /// Delivers everything the index has marked ready. Each delivery
+    /// advances exactly the sender's `K` clock entries; the index is told
+    /// which, wakes only the waiters whose thresholds those crossings
+    /// satisfied, and queues any of them that became fully ready — so the
+    /// cascade costs `O(unblocked · (log W + K))`, not `O(P)` per
+    /// delivery. Delivery order (ready tickets = arrival order) matches
+    /// the old front-to-back rescan exactly; see `tests/differential.rs`.
     fn drain(&mut self, now: u64) -> Vec<Delivery<P>> {
         let mut out = Vec::new();
-        loop {
-            let mut delivered_any = false;
-            let mut i = 0;
-            while i < self.pending.len() {
-                let ready = {
-                    let (_, msg) = &self.pending[i];
-                    self.clock.is_deliverable(msg.timestamp(), msg.keys())
-                };
-                if ready {
-                    let (_, msg) = self.pending.remove(i).expect("index in bounds");
-                    out.push(self.deliver(msg, now));
-                    delivered_any = true;
-                    // Restart the scan: the clock advanced, earlier-queued
-                    // messages may have become ready.
-                    i = 0;
-                } else {
-                    i += 1;
-                }
-            }
-            if !delivered_any {
-                break;
-            }
+        while let Some(message) = self.pending.pop_ready() {
+            let delivery = self.deliver(message, now);
+            self.pending.on_clock_advance(delivery.message.keys().iter(), &self.clock);
+            out.push(delivery);
         }
         out
     }
@@ -270,10 +268,7 @@ mod tests {
     }
 
     fn proc(id: usize, entries: &[usize]) -> PcbProcess<&'static str> {
-        PcbProcess::new(
-            ProcessId::new(id),
-            KeySet::from_entries(space(), entries).unwrap(),
-        )
+        PcbProcess::new(ProcessId::new(id), KeySet::from_entries(space(), entries).unwrap())
     }
 
     #[test]
@@ -373,6 +368,48 @@ mod tests {
         let out = b.on_receive(m1.clone(), 2);
         let order: Vec<_> = out.iter().map(|d| *d.message.payload()).collect();
         assert_eq!(order, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn three_deep_cross_sender_cascade_flushes_in_one_drain() {
+        // m1 (A) <- m2 (B) <- m3 (C), arrivals fully reversed. The old
+        // drain needed its restart-scan to flush this; the indexed drain
+        // must release the whole chain from the single arrival of m1.
+        let mut a = proc(0, &[0, 1]);
+        let mut b = proc(1, &[1, 2]);
+        let mut c = proc(3, &[0, 3]);
+        let mut rx = proc(2, &[2, 3]);
+
+        let m1 = a.broadcast("m1");
+        assert_eq!(b.on_receive(m1.clone(), 0).len(), 1);
+        let m2 = b.broadcast("m2");
+        assert_eq!(c.on_receive(m1.clone(), 0).len(), 1);
+        assert_eq!(c.on_receive(m2.clone(), 0).len(), 1);
+        let m3 = c.broadcast("m3");
+
+        assert!(rx.on_receive(m3, 0).is_empty(), "m3 waits on m2 and m1");
+        assert!(rx.on_receive(m2, 1).is_empty(), "m2 waits on m1");
+        assert_eq!(rx.pending_len(), 2);
+
+        let out = rx.on_receive(m1, 2);
+        let order: Vec<_> = out.iter().map(|d| *d.message.payload()).collect();
+        assert_eq!(order, vec!["m1", "m2", "m3"], "one arrival flushes the chain");
+        assert_eq!(rx.pending_len(), 0);
+        assert!(rx.poll(3).is_empty(), "drain reached the fixpoint");
+    }
+
+    #[test]
+    fn wakeup_stats_expose_index_work() {
+        let mut a = proc(0, &[0, 1]);
+        let mut b = proc(1, &[1, 2]);
+        let m1 = a.broadcast("1");
+        let m2 = a.broadcast("2");
+        assert!(b.on_receive(m2, 0).is_empty());
+        assert_eq!(b.on_receive(m1, 1).len(), 2);
+        let ws = b.wakeup_stats();
+        assert_eq!(ws.ready_on_arrival, 1, "m1 was ready when it arrived");
+        assert!(ws.wakeups >= 1, "m2 was woken by m1's delivery");
+        assert_eq!(ws.max_pending, 2);
     }
 
     #[test]

@@ -99,11 +99,7 @@ impl<P: Clone> MessageStore<P> {
     pub fn handle_sync(&self, request: &SyncRequest) -> SyncResponse<P> {
         let known: HashSet<MessageId> = request.known.iter().copied().collect();
         SyncResponse {
-            messages: self
-                .iter()
-                .filter(|m| !known.contains(&m.id()))
-                .cloned()
-                .collect(),
+            messages: self.iter().filter(|m| !known.contains(&m.id())).cloned().collect(),
         }
     }
 }
@@ -168,11 +164,7 @@ mod tests {
 
         let m1 = p_a.broadcast("m1");
         let m2 = p_a.broadcast("m2");
-        for d in p_b
-            .on_receive(m1.clone(), 0)
-            .into_iter()
-            .chain(p_b.on_receive(m2.clone(), 1))
-        {
+        for d in p_b.on_receive(m1.clone(), 0).into_iter().chain(p_b.on_receive(m2.clone(), 1)) {
             b_store.insert(1, d.message);
         }
 

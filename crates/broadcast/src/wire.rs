@@ -72,7 +72,15 @@ fn get_uvar(buf: &mut Bytes) -> Result<u64, WireError> {
             return Err(WireError::Truncated);
         }
         let byte = buf.get_u8();
-        v |= u64::from(byte & 0x7F) << shift;
+        let group = u64::from(byte & 0x7F);
+        if shift == 63 && group > 0x01 {
+            // Nine continuation bytes already consumed 63 bits, so only
+            // one value bit remains. Anything else in the tenth byte
+            // would be silently shifted out — reject instead of
+            // truncating the value.
+            return Err(WireError::VarintOverflow);
+        }
+        v |= group << shift;
         if byte & 0x80 == 0 {
             return Ok(v);
         }
@@ -121,8 +129,7 @@ pub fn decode(mut frame: Bytes) -> Result<Message<Bytes>, WireError> {
     }
     let set_id = frame.get_u128_le();
     let space = KeySpace::new(r, k).map_err(|e| WireError::BadKeys(e.to_string()))?;
-    let keys =
-        KeySet::from_set_id(space, set_id).map_err(|e| WireError::BadKeys(e.to_string()))?;
+    let keys = KeySet::from_set_id(space, set_id).map_err(|e| WireError::BadKeys(e.to_string()))?;
     let mut entries = Vec::with_capacity(r);
     for _ in 0..r {
         entries.push(get_uvar(&mut frame)?);
@@ -186,20 +193,14 @@ mod tests {
         // R bytes + small header, far below the fixed 8·R accounting.
         let m = sample(b"");
         let size = control_size(&m);
-        assert!(
-            size < 100 + 40,
-            "control size {size} should be ≈ R + header for small counters"
-        );
+        assert!(size < 100 + 40, "control size {size} should be ≈ R + header for small counters");
         assert!(size > 100, "must still carry all R entries");
     }
 
     #[test]
     fn decode_rejects_garbage() {
         assert!(matches!(decode(Bytes::new()), Err(WireError::Truncated)));
-        assert!(matches!(
-            decode(Bytes::from_static(&[9, 0, 0])),
-            Err(WireError::BadVersion(9))
-        ));
+        assert!(matches!(decode(Bytes::from_static(&[9, 0, 0])), Err(WireError::BadVersion(9))));
         // Truncated mid-set-id.
         let m = sample(b"x");
         let full = encode(&m);
@@ -254,6 +255,48 @@ mod tests {
         let bad = Bytes::from_static(&[0xFF; 11]);
         let mut b = bad;
         assert_eq!(get_uvar(&mut b), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn varint_rejects_truncated_continuation() {
+        // Every byte promises another, then the frame ends.
+        for len in 1..=9usize {
+            let mut b = Bytes::from(vec![0x80u8; len]);
+            assert_eq!(get_uvar(&mut b), Err(WireError::Truncated), "len {len}");
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_tenth_byte() {
+        // Nine continuation bytes consume 63 bits; the tenth byte may
+        // carry only the final bit. The old decoder silently dropped the
+        // upper bits here, decoding [0x80×9, 0x02] as 0.
+        let mut b = Bytes::from([&[0x80u8; 9][..], &[0x02]].concat());
+        assert_eq!(get_uvar(&mut b), Err(WireError::VarintOverflow));
+        // 0x01 in the tenth byte is legal: it is u64's top bit.
+        let mut b = Bytes::from([&[0xFFu8; 9][..], &[0x01]].concat());
+        assert_eq!(get_uvar(&mut b), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn varint_rejects_high_bit_set_final_byte() {
+        // Tenth byte keeps the continuation bit set: the value never
+        // terminates inside 64 bits.
+        let mut b = Bytes::from([&[0x80u8; 9][..], &[0x81]].concat());
+        assert_eq!(get_uvar(&mut b), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn decode_surfaces_varint_overflow_in_header() {
+        // A frame whose seq field is an overlong varint must error, not
+        // silently decode a truncated sequence number.
+        let mut buf = BytesMut::new();
+        buf.put_u8(VERSION);
+        put_uvar(&mut buf, 0); // sender
+        buf.put_slice(&[0xFF; 9]);
+        buf.put_u8(0x7F); // seq: ten bytes, junk in the tenth
+        let err = decode(buf.freeze()).unwrap_err();
+        assert_eq!(err, WireError::VarintOverflow);
     }
 
     #[test]

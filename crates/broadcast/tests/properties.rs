@@ -1,12 +1,8 @@
 //! Property-based tests for the protocol layer.
 
 use bytes::Bytes;
-use pcb_broadcast::{
-    decode, encode, Message, MessageStore, PcbProcess, SyncRequest,
-};
-use pcb_clock::{
-    AssignmentPolicy, CausalRelation, KeyAssigner, KeySpace, ProcessId, VectorClock,
-};
+use pcb_broadcast::{decode, encode, Message, MessageStore, PcbProcess, SyncRequest};
+use pcb_clock::{AssignmentPolicy, CausalRelation, KeyAssigner, KeySpace, ProcessId, VectorClock};
 use proptest::prelude::*;
 
 /// Builds `n` endpoints over an exact `(n, 1)` space (vector-equivalent),
@@ -14,9 +10,7 @@ use proptest::prelude::*;
 fn exact_endpoints(n: usize) -> Vec<PcbProcess<usize>> {
     let space = KeySpace::vector(n).expect("valid");
     let mut assigner = KeyAssigner::new(space, AssignmentPolicy::RoundRobin, 0);
-    (0..n)
-        .map(|i| PcbProcess::new(ProcessId::new(i), assigner.next_set().expect("keys")))
-        .collect()
+    (0..n).map(|i| PcbProcess::new(ProcessId::new(i), assigner.next_set().expect("keys"))).collect()
 }
 
 proptest! {

@@ -96,13 +96,7 @@ impl KeyAssigner {
     /// Creates an assigner with a deterministic seed.
     #[must_use]
     pub fn new(space: KeySpace, policy: AssignmentPolicy, seed: u64) -> Self {
-        Self {
-            space,
-            policy,
-            rng: StdRng::seed_from_u64(seed),
-            issued: 0,
-            seen: HashSet::new(),
-        }
+        Self { space, policy, rng: StdRng::seed_from_u64(seed), issued: 0, seen: HashSet::new() }
     }
 
     /// The key space sets are drawn from.
@@ -196,15 +190,9 @@ mod tests {
 
     #[test]
     fn uniform_random_is_deterministic_per_seed() {
-        let a = KeyAssigner::new(space(), AssignmentPolicy::UniformRandom, 7)
-            .assign_n(50)
-            .unwrap();
-        let b = KeyAssigner::new(space(), AssignmentPolicy::UniformRandom, 7)
-            .assign_n(50)
-            .unwrap();
-        let c = KeyAssigner::new(space(), AssignmentPolicy::UniformRandom, 8)
-            .assign_n(50)
-            .unwrap();
+        let a = KeyAssigner::new(space(), AssignmentPolicy::UniformRandom, 7).assign_n(50).unwrap();
+        let b = KeyAssigner::new(space(), AssignmentPolicy::UniformRandom, 7).assign_n(50).unwrap();
+        let c = KeyAssigner::new(space(), AssignmentPolicy::UniformRandom, 8).assign_n(50).unwrap();
         assert_eq!(a, b, "same seed, same assignment");
         assert_ne!(a, c, "different seed should differ");
     }
@@ -212,9 +200,8 @@ mod tests {
     #[test]
     fn distinct_random_never_repeats() {
         let total = space().combination_count() as usize;
-        let sets = KeyAssigner::new(space(), AssignmentPolicy::DistinctRandom, 3)
-            .assign_n(total)
-            .unwrap();
+        let sets =
+            KeyAssigner::new(space(), AssignmentPolicy::DistinctRandom, 3).assign_n(total).unwrap();
         let ids: HashSet<u128> = sets.iter().map(KeySet::set_id).collect();
         assert_eq!(ids.len(), total);
     }
@@ -224,18 +211,13 @@ mod tests {
         let small = KeySpace::new(4, 2).unwrap(); // C(4,2) = 6
         let mut assigner = KeyAssigner::new(small, AssignmentPolicy::DistinctRandom, 1);
         assert!(assigner.assign_n(6).is_ok());
-        assert_eq!(
-            assigner.next_set(),
-            Err(AssignmentError::Exhausted { available: 6 })
-        );
+        assert_eq!(assigner.next_set(), Err(AssignmentError::Exhausted { available: 6 }));
     }
 
     #[test]
     fn round_robin_balances_entry_load() {
         let sp = KeySpace::new(12, 3).unwrap();
-        let sets = KeyAssigner::new(sp, AssignmentPolicy::RoundRobin, 0)
-            .assign_n(8)
-            .unwrap();
+        let sets = KeyAssigner::new(sp, AssignmentPolicy::RoundRobin, 0).assign_n(8).unwrap();
         let load = entry_load(sp, &sets);
         let (min, max) = (load.iter().min().unwrap(), load.iter().max().unwrap());
         assert!(max - min <= 1, "round-robin load must be near-uniform: {load:?}");

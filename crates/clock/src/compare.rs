@@ -176,8 +176,7 @@ mod tests {
         // After.
         use crate::{AssignmentPolicy, KeyAssigner};
         for seed in 0..30 {
-            let mut assigner =
-                KeyAssigner::new(space(), AssignmentPolicy::UniformRandom, seed);
+            let mut assigner = KeyAssigner::new(space(), AssignmentPolicy::UniformRandom, seed);
             let ka = assigner.next_set().unwrap();
             let kb = assigner.next_set().unwrap();
             let mut a = ProbClock::new(space());

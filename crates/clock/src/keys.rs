@@ -172,11 +172,7 @@ impl KeySet {
     /// [`KeyError::Combinatorics`] if `set_id` is out of range.
     pub fn from_set_id(space: KeySpace, set_id: u128) -> Result<Self, KeyError> {
         let combo = unrank(set_id, space.r, space.k)?;
-        Ok(Self {
-            space,
-            entries: combo.into_iter().map(|e| e as u32).collect(),
-            set_id,
-        })
+        Ok(Self { space, entries: combo.into_iter().map(|e| e as u32).collect(), set_id })
     }
 
     /// Builds a key set from explicit entries, validating shape.
@@ -192,11 +188,7 @@ impl KeySet {
         }
         // rank() also validates monotonicity and range.
         let set_id = rank(entries, space.r)?;
-        Ok(Self {
-            space,
-            entries: entries.iter().map(|&e| e as u32).collect(),
-            set_id,
-        })
+        Ok(Self { space, entries: entries.iter().map(|&e| e as u32).collect(), set_id })
     }
 
     /// The single-entry key set `{index}` in an `(R, 1)` space — used for

@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 /// b.observe(t1);
 /// assert!(b.tick() > t1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LamportClock {
     counter: u64,
 }

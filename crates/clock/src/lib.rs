@@ -37,8 +37,8 @@
 #![warn(missing_docs)]
 
 pub mod assignment;
-pub mod compare;
 pub mod combinatorics;
+pub mod compare;
 pub mod id;
 pub mod keys;
 pub mod lamport;
@@ -47,11 +47,11 @@ pub mod timestamp;
 pub mod vector;
 
 pub use assignment::{entry_load, AssignmentError, AssignmentPolicy, KeyAssigner};
-pub use compare::{judge, JudgmentQuality};
 pub use combinatorics::{binomial, rank, unrank, BinomialTable, CombinatoricsError};
+pub use compare::{judge, JudgmentQuality};
 pub use id::ProcessId;
 pub use keys::{KeyError, KeySet, KeySpace};
 pub use lamport::LamportClock;
-pub use prob::ProbClock;
+pub use prob::{Gap, ProbClock};
 pub use timestamp::Timestamp;
 pub use vector::{CausalRelation, VectorClock};

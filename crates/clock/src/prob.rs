@@ -18,6 +18,42 @@ use serde::{Deserialize, Serialize};
 
 use crate::{KeySet, Timestamp};
 
+/// Why a message is (or is not) deliverable, as reported by
+/// [`ProbClock::deliverability_gap`].
+///
+/// A `Blocked` gap names the **first** vector entry whose wait-condition
+/// fails and the local value that entry must reach. Because local clock
+/// entries only grow and the required values are fixed per message, the
+/// gap is *monotone*: once an entry's condition holds it holds forever,
+/// so re-checking a blocked message can resume the scan from the last
+/// blocking entry instead of restarting at zero
+/// ([`ProbClock::deliverability_gap_from`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Gap {
+    /// Every entry satisfies the Algorithm 2 wait-condition.
+    Ready,
+    /// Entry `entry` is the first violation: delivery requires
+    /// `V_i[entry] >= required`.
+    Blocked {
+        /// Index of the first blocked vector entry.
+        entry: usize,
+        /// The local value that entry must reach.
+        required: u64,
+    },
+    /// No local progress can ever satisfy the stamp (used by exact
+    /// disciplines for stamps from evicted processes; the probabilistic
+    /// guard itself never produces this).
+    Never,
+}
+
+impl Gap {
+    /// Whether the message is deliverable now.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        matches!(self, Self::Ready)
+    }
+}
+
 /// Local state of the probabilistic causal ordering mechanism for one
 /// process: the `R`-entry counter vector `V_i`.
 ///
@@ -113,6 +149,77 @@ impl ProbClock {
             }
         }
         true
+    }
+
+    /// Like [`ProbClock::is_deliverable`], but on failure reports the
+    /// first blocked entry and the local value it must reach, so callers
+    /// can index blocked messages by the entry they wait on instead of
+    /// rescanning the whole pending queue after every delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` has a different length than the local vector.
+    #[must_use]
+    pub fn deliverability_gap(&self, ts: &Timestamp, sender_keys: &KeySet) -> Gap {
+        self.deliverability_gap_from(ts, sender_keys, 0)
+    }
+
+    /// Resumable variant of [`ProbClock::deliverability_gap`]: starts the
+    /// scan at entry `start`, assuming entries `0..start` were already
+    /// found satisfied. Sound because the wait-condition is monotone in
+    /// the local clock — satisfied entries stay satisfied. A blocked
+    /// message re-checked with its last reported gap as `start` therefore
+    /// costs `O(R)` *total* across all re-checks, not per re-check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` has a different length than the local vector.
+    #[must_use]
+    pub fn deliverability_gap_from(
+        &self,
+        ts: &Timestamp,
+        sender_keys: &KeySet,
+        start: usize,
+    ) -> Gap {
+        assert_eq!(self.vector.len(), ts.len(), "timestamp length mismatch");
+        let local = self.vector.entries();
+        let remote = ts.entries();
+        // Merged walk as in `is_deliverable`, fast-forwarding the sorted
+        // key cursor past the already-verified prefix.
+        let mut keys = sender_keys.iter().peekable();
+        while keys.next_if(|&k| k < start).is_some() {}
+        for (index, (&mine, &theirs)) in local.iter().zip(remote).enumerate().skip(start) {
+            let is_sender_entry = keys.next_if(|&k| k == index).is_some();
+            let required = if is_sender_entry { theirs.saturating_sub(1) } else { theirs };
+            if mine < required {
+                return Gap::Blocked { entry: index, required };
+            }
+        }
+        Gap::Ready
+    }
+
+    /// Diagnostic version of the guard: every blocked `(entry, required)`
+    /// pair, not just the first. Useful for stats and tests; the hot path
+    /// uses [`ProbClock::deliverability_gap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` has a different length than the local vector.
+    #[must_use]
+    pub fn blocked_entries(&self, ts: &Timestamp, sender_keys: &KeySet) -> Vec<(usize, u64)> {
+        assert_eq!(self.vector.len(), ts.len(), "timestamp length mismatch");
+        let local = self.vector.entries();
+        let remote = ts.entries();
+        let mut keys = sender_keys.iter().peekable();
+        let mut blocked = Vec::new();
+        for (index, (&mine, &theirs)) in local.iter().zip(remote).enumerate() {
+            let is_sender_entry = keys.next_if(|&k| k == index).is_some();
+            let required = if is_sender_entry { theirs.saturating_sub(1) } else { theirs };
+            if mine < required {
+                blocked.push((index, required));
+            }
+        }
+        blocked
     }
 
     /// **Algorithm 2 (post).** Records a delivery from a sender with keys
@@ -320,8 +427,7 @@ mod tests {
         // so the Figure-2 interleaving cannot produce a wrong delivery.
         let n = 5;
         let space = KeySpace::vector(n).unwrap();
-        let f: Vec<KeySet> =
-            (0..n).map(|i| KeySet::singleton(space, i).unwrap()).collect();
+        let f: Vec<KeySet> = (0..n).map(|i| KeySet::singleton(space, i).unwrap()).collect();
 
         let mut pi = ProbClock::new(space);
         let mut pj = ProbClock::new(space);
@@ -344,6 +450,102 @@ mod tests {
             "vector configuration must block m' until m is delivered"
         );
         assert!(pk.is_deliverable(&m, &f[0]));
+    }
+
+    #[test]
+    fn gap_agrees_with_is_deliverable() {
+        let space = space4x2();
+        let f_i = keys(&[0, 1]);
+        let f_j = keys(&[1, 2]);
+        let mut pi = ProbClock::new(space);
+        let mut pj = ProbClock::new(space);
+
+        let m = pi.stamp_send(&f_i);
+        pj.record_delivery(&f_i);
+        let m_prime = pj.stamp_send(&f_j);
+
+        let pk = ProbClock::new(space);
+        assert_eq!(pk.deliverability_gap(&m, &f_i), Gap::Ready);
+        assert!(pk.is_deliverable(&m, &f_i));
+
+        // m' = [1,2,1,0] at a fresh p_k: entry 0 is non-sender and needs
+        // V[0] >= 1 — the first violation.
+        assert_eq!(pk.deliverability_gap(&m_prime, &f_j), Gap::Blocked { entry: 0, required: 1 });
+        assert!(!pk.is_deliverable(&m_prime, &f_j));
+    }
+
+    #[test]
+    fn gap_resume_skips_verified_prefix() {
+        let space = space4x2();
+        let f_i = keys(&[0, 1]);
+        let f_j = keys(&[1, 2]);
+        let mut pi = ProbClock::new(space);
+        let mut pj = ProbClock::new(space);
+        pi.record_delivery(&f_j); // raise a non-sender entry in m's stamp
+        let m = pi.stamp_send(&f_i);
+        let _ = pj.stamp_send(&f_j);
+
+        let mut pk = ProbClock::new(space);
+        // m = [1,2,1,0] from f_i={0,1}: entry 1 is a sender entry needing
+        // V[1] >= 1; entry 2 is non-sender needing V[2] >= 1.
+        let first = pk.deliverability_gap(&m, &f_i);
+        assert_eq!(first, Gap::Blocked { entry: 1, required: 1 });
+
+        // Deliver m_j (f_j = {1,2}) to advance entries 1 and 2.
+        pk.record_delivery(&f_j);
+        // Resuming at the old gap gives the same verdict as a full scan.
+        let resumed = pk.deliverability_gap_from(&m, &f_i, 1);
+        assert_eq!(resumed, pk.deliverability_gap(&m, &f_i));
+        assert_eq!(resumed, Gap::Ready);
+    }
+
+    #[test]
+    fn gap_first_blocked_entry_increases_monotonically() {
+        // Drive random-ish scenarios: whenever a message stays blocked
+        // across deliveries, the first blocked entry never moves left.
+        let space = KeySpace::new(8, 3).unwrap();
+        let sender = KeySet::from_entries(space, &[1, 4, 6]).unwrap();
+        let other = KeySet::from_entries(space, &[0, 2, 5]).unwrap();
+        let mut src = ProbClock::new(space);
+        src.record_delivery(&other);
+        src.record_delivery(&other);
+        let _ = src.stamp_send(&sender);
+        let ts = src.stamp_send(&sender);
+
+        let mut rx = ProbClock::new(space);
+        let mut last_entry = 0usize;
+        for _ in 0..6 {
+            match rx.deliverability_gap_from(&ts, &sender, last_entry) {
+                Gap::Ready => break,
+                Gap::Blocked { entry, .. } => {
+                    assert!(entry >= last_entry, "gap moved backwards");
+                    last_entry = entry;
+                    rx.record_delivery(&other);
+                    rx.record_delivery(&sender);
+                }
+                Gap::Never => unreachable!("prob guard never yields Never"),
+            }
+        }
+        assert_eq!(rx.deliverability_gap(&ts, &sender), Gap::Ready);
+    }
+
+    #[test]
+    fn blocked_entries_lists_every_violation() {
+        let space = space4x2();
+        let f = keys(&[1, 2]);
+        let mut sender = ProbClock::new(space);
+        let _ = sender.stamp_send(&f);
+        let ts2 = sender.stamp_send(&f); // [0,2,2,0]
+
+        let rx = ProbClock::new(space);
+        assert_eq!(rx.blocked_entries(&ts2, &f), vec![(1, 1), (2, 1)]);
+        assert!(
+            rx.blocked_entries(&ts2, &f)
+                .first()
+                .map(|&(e, r)| rx.deliverability_gap(&ts2, &f)
+                    == Gap::Blocked { entry: e, required: r })
+                .unwrap_or(false)
+        );
     }
 
     #[test]

@@ -133,10 +133,7 @@ impl<E: Ord + Clone> OrSet<E> {
     /// Internal state digest for convergence checks: (element, tags) pairs.
     #[must_use]
     pub fn digest(&self) -> Vec<(E, Vec<Tag>)> {
-        self.live
-            .iter()
-            .map(|(e, tags)| (e.clone(), tags.iter().copied().collect()))
-            .collect()
+        self.live.iter().map(|(e, tags)| (e.clone(), tags.iter().copied().collect())).collect()
     }
 }
 
@@ -208,11 +205,8 @@ mod tests {
         let mut reordered = OrSet::new(3);
         reordered.apply(&remove); // arrives first: tags unknown
         reordered.apply(&add); // resurrects without tombstones...
-        // ...but our tombstone guard absorbs exactly this case:
-        assert!(
-            !reordered.contains(&"x"),
-            "tombstones absorb remove-before-add of *known* tags"
-        );
+                               // ...but our tombstone guard absorbs exactly this case:
+        assert!(!reordered.contains(&"x"), "tombstones absorb remove-before-add of *known* tags");
         // The unfixable anomaly is a remove that lists only part of the
         // adds because causality was broken upstream — see the replica
         // property tests for the end-to-end divergence measurement.

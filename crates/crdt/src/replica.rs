@@ -88,10 +88,7 @@ impl<C: OpBased> Replica<C> {
     /// mutators and returns the op they produced (or `None` for a no-op,
     /// e.g. removing an absent element); the op is then stamped for
     /// broadcast.
-    pub fn update(
-        &mut self,
-        f: impl FnOnce(&mut C) -> Option<C::Op>,
-    ) -> Option<Message<C::Op>> {
+    pub fn update(&mut self, f: impl FnOnce(&mut C) -> Option<C::Op>) -> Option<Message<C::Op>> {
         let op = f(&mut self.crdt)?;
         Some(self.endpoint.broadcast(op))
     }
@@ -157,9 +154,7 @@ mod tests {
     fn causal_guard_protects_rga_from_reordering() {
         use crate::rga::HEAD;
         let mut writer = Replica::new(ProcessId::new(0), keys(&[0, 1]), Rga::new(1));
-        let m1 = writer
-            .update(|doc| doc.insert_after(HEAD, 'a'))
-            .unwrap();
+        let m1 = writer.update(|doc| doc.insert_after(HEAD, 'a')).unwrap();
         let parent = match m1.payload() {
             crate::rga::RgaOp::Insert { id, .. } => *id,
             crate::rga::RgaOp::Delete { .. } => unreachable!(),

@@ -9,10 +9,7 @@ use rand::{rngs::StdRng, RngExt, SeedableRng};
 /// Replicas over the exact (N, 1) clock configuration: the broadcast
 /// layer guarantees causal delivery, so the CRDTs must converge under
 /// every schedule.
-fn exact_replicas<C: pcb_crdt::OpBased>(
-    n: usize,
-    make: impl Fn(usize) -> C,
-) -> Vec<Replica<C>> {
+fn exact_replicas<C: pcb_crdt::OpBased>(n: usize, make: impl Fn(usize) -> C) -> Vec<Replica<C>> {
     let space = KeySpace::vector(n).expect("valid");
     let mut assigner = KeyAssigner::new(space, AssignmentPolicy::RoundRobin, 0);
     (0..n)
@@ -170,7 +167,7 @@ proptest! {
 
         // Guarded reader, random arrival order: always converges to the
         // writer's state.
-        let mut msgs = vec![m_add1, m_rm, m_add2];
+        let mut msgs = [m_add1, m_rm, m_add2];
         for i in (1..msgs.len()).rev() {
             let j = rng.random_range(0..=i);
             msgs.swap(i, j);

@@ -5,7 +5,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use pcb_broadcast::{Delivery, Message, MessageId, MessageStore, PcbConfig, PcbProcess, SyncRequest};
+use pcb_broadcast::{
+    Delivery, Message, MessageId, MessageStore, PcbConfig, PcbProcess, SyncRequest,
+};
 use pcb_clock::{KeySet, ProcessId, Timestamp};
 
 use crate::transport::RouterMsg;
@@ -68,6 +70,9 @@ pub struct NodeStatus {
     /// Deliveries unblocked by anti-entropy responses (the replayed
     /// messages plus any pending cascade they released).
     pub recovered: u64,
+    /// Work counters of the endpoint's entry-indexed pending set: gap
+    /// checks, wake fan-out, pending high-water mark.
+    pub wakeup: pcb_broadcast::WakeupStats,
 }
 
 /// Handle to a running node: broadcast payloads, consume deliveries,
@@ -142,6 +147,12 @@ struct NodeLoop<P> {
     sync_requests: u64,
     recovered: u64,
     sync_in_flight: bool,
+    /// Timestamp of the last transport arrival, for quiescence probes.
+    last_activity_ms: u64,
+    /// Earliest time the next idle (non-pending-triggered) probe may go.
+    next_idle_sync_ms: u64,
+    /// Current idle-probe backoff; doubles on empty responses.
+    idle_backoff_ms: u64,
 }
 
 impl<P: Send + Clone + 'static> NodeLoop<P> {
@@ -163,7 +174,16 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
         any
     }
 
-    /// Issues a sync request if something has been pending too long.
+    /// Issues a sync request if something has been pending too long, or
+    /// if the node has gone quiet and a background probe is due.
+    ///
+    /// The pending-age trigger alone cannot see a *trailing* loss: when
+    /// the last message from a sender is dropped and nothing causally
+    /// after it ever arrives, the pending queue stays empty and the gap
+    /// is silent. Quiescence probes close that hole — after
+    /// `stale_after` without any arrival the node asks a peer anyway,
+    /// backing off exponentially while the probes come back empty so a
+    /// settled cluster is not spammed.
     fn maybe_request_sync(&mut self) {
         let Some(recovery) = self.recovery else { return };
         if self.sync_in_flight {
@@ -171,23 +191,29 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
         }
         let stale_ms = recovery.stale_after.as_millis() as u64;
         let now = self.now_ms();
-        if self.process.oldest_pending_age(now).is_some_and(|age| age >= stale_ms) {
+        let pending_stale = self.process.oldest_pending_age(now).is_some_and(|age| age >= stale_ms);
+        let idle_probe =
+            now.saturating_sub(self.last_activity_ms) >= stale_ms && now >= self.next_idle_sync_ms;
+        if pending_stale || idle_probe {
             let known: Vec<MessageId> = self.process.seen_ids().collect();
-            if self
-                .router_tx
-                .send(RouterMsg::SyncRequest { from: self.id, known })
-                .is_ok()
-            {
+            if self.router_tx.send(RouterMsg::SyncRequest { from: self.id, known }).is_ok() {
                 self.sync_requests += 1;
                 self.sync_in_flight = true;
             }
         }
     }
 
+    /// Re-arms the quiescence probe at its minimum interval (new traffic
+    /// or a successful recovery means more losses may follow shortly).
+    fn reset_idle_backoff(&mut self) {
+        if let Some(recovery) = self.recovery {
+            self.idle_backoff_ms = recovery.stale_after.as_millis() as u64;
+            self.next_idle_sync_ms = 0;
+        }
+    }
+
     fn run(mut self, cmd_rx: &Receiver<Command<P>>) {
-        let idle = self
-            .recovery
-            .map_or(Duration::from_secs(3600), |r| r.poll_every);
+        let idle = self.recovery.map_or(Duration::from_secs(3600), |r| r.poll_every);
         loop {
             let cmd = match cmd_rx.recv_timeout(idle) {
                 Ok(cmd) => cmd,
@@ -202,6 +228,8 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
             self.maybe_request_sync();
             match cmd {
                 Command::Incoming(message) => {
+                    self.last_activity_ms = self.now_ms();
+                    self.reset_idle_backoff();
                     self.accept(message, false);
                     self.maybe_request_sync();
                 }
@@ -209,10 +237,7 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
                     let message = self.process.broadcast(payload);
                     let now = self.now_ms();
                     self.store.insert(now, message.clone());
-                    if self
-                        .router_tx
-                        .send(RouterMsg::Broadcast { from: self.id, message })
-                        .is_err()
+                    if self.router_tx.send(RouterMsg::Broadcast { from: self.id, message }).is_err()
                     {
                         break; // router gone: cluster is shutting down
                     }
@@ -221,15 +246,27 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
                     let response = self.store.handle_sync(&SyncRequest::new(known));
                     // Always reply — an empty response tells the requester
                     // this peer had nothing, so it can ask another.
-                    let _ = self.router_tx.send(RouterMsg::SyncResponse {
-                        to: from,
-                        messages: response.messages,
-                    });
+                    let _ = self
+                        .router_tx
+                        .send(RouterMsg::SyncResponse { to: from, messages: response.messages });
                 }
                 Command::SyncResponse(messages) => {
                     self.sync_in_flight = false;
+                    let mut delivered_any = false;
                     for m in messages {
-                        self.accept(m, true);
+                        delivered_any |= self.accept(m, true);
+                    }
+                    if delivered_any {
+                        // Progress: more may be missing, probe again soon.
+                        self.reset_idle_backoff();
+                    } else if let Some(recovery) = self.recovery {
+                        // Empty round: this peer had nothing new. Back off
+                        // (capped) so a quiescent cluster goes quiet; the
+                        // router rotates targets, so retries reach every
+                        // peer within n-1 rounds.
+                        let cap = recovery.stale_after.as_millis() as u64 * 8;
+                        self.next_idle_sync_ms = self.now_ms() + self.idle_backoff_ms;
+                        self.idle_backoff_ms = (self.idle_backoff_ms * 2).min(cap.max(1));
                     }
                     // Still stuck (the peer lacked it too)? Ask again.
                     self.maybe_request_sync();
@@ -241,6 +278,7 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
                         clock: self.process.clock().vector().clone(),
                         sync_requests: self.sync_requests,
                         recovered: self.recovered,
+                        wakeup: self.process.wakeup_stats(),
                     });
                 }
                 Command::Shutdown => break,
@@ -261,9 +299,8 @@ pub(crate) fn spawn_node<P: Send + Clone + 'static>(
 ) -> (NodeHandle<P>, Sender<Command<P>>) {
     let (cmd_tx, cmd_rx) = unbounded::<Command<P>>();
     let (delivery_tx, delivery_rx) = unbounded::<Delivery<P>>();
-    let store_window = recovery
-        .map_or(Duration::from_secs(5), |r| r.store_window)
-        .as_millis() as u64;
+    let store_window =
+        recovery.map_or(Duration::from_secs(5), |r| r.store_window).as_millis() as u64;
     let thread_name = format!("pcb-node-{}", id.index());
     let join = std::thread::Builder::new()
         .name(thread_name)
@@ -279,16 +316,15 @@ pub(crate) fn spawn_node<P: Send + Clone + 'static>(
                 sync_requests: 0,
                 recovered: 0,
                 sync_in_flight: false,
+                last_activity_ms: 0,
+                next_idle_sync_ms: 0,
+                idle_backoff_ms: recovery.map_or(0, |r| r.stale_after.as_millis() as u64),
             };
             node.run(&cmd_rx);
         })
         .expect("spawn node thread");
 
-    let handle = NodeHandle {
-        id,
-        cmd_tx: cmd_tx.clone(),
-        deliveries: delivery_rx,
-        join: Some(join),
-    };
+    let handle =
+        NodeHandle { id, cmd_tx: cmd_tx.clone(), deliveries: delivery_rx, join: Some(join) };
     (handle, cmd_tx)
 }

@@ -165,6 +165,7 @@ pub(crate) fn spawn_router<P: Clone + Send + 'static>(
             let mut rng = StdRng::seed_from_u64(seed);
             let mut heap: BinaryHeap<Scheduled<P>> = BinaryHeap::new();
             let mut seq = 0u64;
+            let mut sync_rotation = 0usize;
             loop {
                 // Flush everything due.
                 let now = Instant::now();
@@ -173,9 +174,7 @@ pub(crate) fn spawn_router<P: Clone + Send + 'static>(
                     // A closed inbox just means that node shut down first.
                     let _ = inboxes[s.target].send(s.command);
                 }
-                let wait = heap
-                    .peek()
-                    .map(|s| s.due.saturating_duration_since(Instant::now()));
+                let wait = heap.peek().map(|s| s.due.saturating_duration_since(Instant::now()));
                 let incoming = match wait {
                     Some(w) => match rx.recv_timeout(w) {
                         Ok(msg) => Some(msg),
@@ -209,9 +208,13 @@ pub(crate) fn spawn_router<P: Clone + Send + 'static>(
                     }
                     Some(RouterMsg::SyncRequest { from, known }) => {
                         // Sync traffic is unicast and assumed reliable
-                        // (e.g. TCP); route to one random other node.
+                        // (e.g. TCP). Targets rotate so a retrying
+                        // requester reaches every peer within n-1 rounds
+                        // — a random pick can starve the one peer that
+                        // still holds a trailing loss.
                         if inboxes.len() > 1 {
-                            let mut target = rng.random_range(0..inboxes.len() - 1);
+                            sync_rotation += 1;
+                            let mut target = sync_rotation % (inboxes.len() - 1);
                             if target >= from.index() {
                                 target += 1;
                             }
@@ -268,9 +271,7 @@ mod tests {
         let model = LatencyModel::fast();
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let total: f64 = (0..n)
-            .map(|_| model.sample_base(&mut rng).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| model.sample_base(&mut rng).as_secs_f64()).sum();
         let mean_ms = total / n as f64 * 1000.0;
         assert!((mean_ms - 10.0).abs() < 0.5, "mean {mean_ms} ms");
     }

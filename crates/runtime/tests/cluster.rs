@@ -17,11 +17,7 @@ fn broadcast_reaches_every_other_node() {
         assert!(!d.instant_alert);
     }
     // The sender does not receive its own broadcast.
-    assert!(cluster
-        .node(0)
-        .deliveries()
-        .recv_timeout(Duration::from_millis(200))
-        .is_err());
+    assert!(cluster.node(0).deliveries().recv_timeout(Duration::from_millis(200)).is_err());
     cluster.shutdown();
 }
 
@@ -52,13 +48,7 @@ fn fifo_order_per_sender_is_preserved() {
     for i in 1..3 {
         let got: Vec<usize> = (0..20)
             .map(|_| {
-                *cluster
-                    .node(i)
-                    .deliveries()
-                    .recv_timeout(RECV_TIMEOUT)
-                    .unwrap()
-                    .message
-                    .payload()
+                *cluster.node(i).deliveries().recv_timeout(RECV_TIMEOUT).unwrap().message.payload()
             })
             .collect();
         assert_eq!(got, (0..20).collect::<Vec<_>>(), "node {i} FIFO order");
@@ -81,19 +71,20 @@ fn concurrent_senders_all_messages_arrive() {
         let mut got = Vec::with_capacity(expected);
         for _ in 0..expected {
             got.push(
-                *cluster
-                    .node(i)
-                    .deliveries()
-                    .recv_timeout(RECV_TIMEOUT)
-                    .unwrap()
-                    .message
-                    .payload(),
+                *cluster.node(i).deliveries().recv_timeout(RECV_TIMEOUT).unwrap().message.payload(),
             );
         }
-        // Every other node's full stream arrived, in per-sender order.
+        // Every other node's full stream arrived exactly once. Order is
+        // NOT asserted here: `quick` uses a colliding (16, 2) clock, and
+        // under concurrent senders the probabilistic guard (Alg. 2) may
+        // deliver out of per-sender order — that is the paper's
+        // quantified error mode, not a protocol bug. Strict order under
+        // a collision-free clock is covered by
+        // `fifo_order_per_sender_is_preserved`.
         for s in (0..n).filter(|&s| s != i) {
-            let stream: Vec<usize> =
+            let mut stream: Vec<usize> =
                 got.iter().filter(|(from, _)| *from == s).map(|&(_, k)| k).collect();
+            stream.sort_unstable();
             assert_eq!(stream, (0..per_node).collect::<Vec<_>>(), "node {i} from {s}");
         }
     }
@@ -116,10 +107,7 @@ fn status_reports_progress() {
 
 #[test]
 fn high_throughput_instant_latency() {
-    let cfg = ClusterConfig {
-        latency: LatencyModel::instant(),
-        ..ClusterConfig::exact(4)
-    };
+    let cfg = ClusterConfig { latency: LatencyModel::instant(), ..ClusterConfig::exact(4) };
     let cluster = Cluster::<u32>::start(cfg).unwrap();
     let total = 500u32;
     for k in 0..total {

@@ -185,22 +185,28 @@ impl SimConfig {
     ///
     /// Returns a human-readable description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
+        // Rejects NaN along with the out-of-range value.
+        let not_positive = |v: f64| v.is_nan() || v <= 0.0;
         if self.n < 2 {
             return Err(format!("need at least 2 processes, got {}", self.n));
         }
-        if !(self.mean_send_interval_ms > 0.0) {
+        if not_positive(self.mean_send_interval_ms) {
             return Err("mean_send_interval_ms must be positive".into());
         }
-        if !(self.latency_mean_ms > 0.0) {
+        if not_positive(self.latency_mean_ms) {
             return Err("latency_mean_ms must be positive".into());
         }
         if self.latency_sigma_ms < 0.0 || self.skew_sigma_ms < 0.0 {
             return Err("sigmas must be non-negative".into());
         }
-        if !(self.latency_floor_ms > 0.0) {
+        if not_positive(self.latency_floor_ms) {
             return Err("latency_floor_ms must be positive".into());
         }
-        if !(self.duration_ms > self.warmup_ms) || self.warmup_ms < 0.0 {
+        if self.duration_ms.is_nan()
+            || self.warmup_ms.is_nan()
+            || self.duration_ms <= self.warmup_ms
+            || self.warmup_ms < 0.0
+        {
             return Err("need 0 <= warmup_ms < duration_ms".into());
         }
         if let Dissemination::Gossip { fanout } = self.dissemination {
@@ -215,7 +221,7 @@ impl SimConfig {
             if !(0.0..1.0).contains(&loss.drop_probability) {
                 return Err("drop_probability must be in [0, 1)".into());
             }
-            if !(loss.retransmit_ms > 0.0) {
+            if not_positive(loss.retransmit_ms) {
                 return Err("retransmit_ms must be positive".into());
             }
         }
@@ -229,10 +235,10 @@ impl SimConfig {
             if churn.join_rate_per_sec < 0.0 {
                 return Err("join_rate_per_sec must be non-negative".into());
             }
-            if churn.mean_lifetime_ms.is_some_and(|l| !(l > 0.0)) {
+            if churn.mean_lifetime_ms.is_some_and(not_positive) {
                 return Err("mean_lifetime_ms must be positive".into());
             }
-            if !(churn.sync_window_ms > 0.0) {
+            if not_positive(churn.sync_window_ms) {
                 return Err("sync_window_ms must be positive".into());
             }
             if !self.track_exact {

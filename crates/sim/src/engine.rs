@@ -17,12 +17,13 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use pcb_broadcast::Discipline;
-use pcb_clock::{KeyAssigner, KeySet, KeySpace, ProcessId};
+use pcb_clock::{Gap, KeyAssigner, KeySet, KeySpace, ProcessId};
 
 use crate::config::{Dissemination, SimConfig};
 use crate::metrics::RunMetrics;
 use crate::oracle::{EpsilonEstimator, ExactChecker};
 use crate::rng::SimRng;
+use crate::wake::WakeTable;
 
 /// Errors building or running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,7 +95,9 @@ struct Proc<D> {
     disc: D,
     active: bool,
     syncing: bool,
-    pending: Vec<(u32, u64)>,
+    /// Entry-indexed pending set: received messages parked on the wake
+    /// channel they are blocked on (see [`crate::wake`]).
+    wake: WakeTable,
     true_vc: Vec<u32>,
     sent_count: u32,
     exact: Option<ExactChecker>,
@@ -137,10 +140,8 @@ impl<D: Discipline> Engine<'_, D> {
     }
 
     fn schedule_next_send(&mut self, p: u32, now: u64) {
-        let next = now
-            + self
-                .rng
-                .exponential(self.cfg.mean_send_interval_ms * MICROS_PER_MS) as u64;
+        let next =
+            now + self.rng.exponential(self.cfg.mean_send_interval_ms * MICROS_PER_MS) as u64;
         if next <= self.duration_us {
             self.push(next, EvKind::Send { p });
         }
@@ -177,8 +178,7 @@ impl<D: Discipline> Engine<'_, D> {
     /// lossy-link retransmission penalty when configured.
     fn link_delay_us(&mut self, d_ms: f64) -> u64 {
         let delay =
-            self.rng
-                .normal_clamped(d_ms, self.cfg.skew_sigma_ms, self.cfg.latency_floor_ms);
+            self.rng.normal_clamped(d_ms, self.cfg.skew_sigma_ms, self.cfg.latency_floor_ms);
         let mut us = ms_to_us(delay);
         if let Some(loss) = self.cfg.loss {
             while self.rng.uniform_open() < loss.drop_probability {
@@ -197,10 +197,7 @@ impl<D: Discipline> Engine<'_, D> {
     /// Join phase 1: start receiving (buffered) and wait one sync window
     /// so everything in flight at join time lands at the future donor.
     fn begin_join(&mut self, p: u32, now: u64) {
-        let window = self
-            .cfg
-            .churn
-            .map_or(500.0, |c| c.sync_window_ms);
+        let window = self.cfg.churn.map_or(500.0, |c| c.sync_window_ms);
         let proc = &mut self.procs[p as usize];
         proc.active = true;
         proc.syncing = true;
@@ -229,25 +226,26 @@ impl<D: Discipline> Engine<'_, D> {
             joiner.exact = donor_exact;
             joiner.eps = donor_eps;
             joiner.true_vc = donor_vc;
-            // Drop buffered messages the snapshot already contains — in a
-            // real system the recovery layer's dedup does this.
-            if self.procs[pi].exact.is_some() {
-                let mut kept = Vec::new();
-                let pending = std::mem::take(&mut self.procs[pi].pending);
-                for (midx, arrived) in pending {
-                    let rec = &mut self.msgs[midx as usize];
-                    let in_snapshot = self.procs[pi]
+            // State adoption moved the clock non-monotonically: every
+            // parked threshold and Never verdict is stale. Pull the whole
+            // buffer out and re-classify from scratch, dropping messages
+            // the snapshot already contains — in a real system the
+            // recovery layer's dedup does this.
+            let pending = self.procs[pi].wake.drain_all();
+            for (midx, arrived) in pending {
+                let in_snapshot = {
+                    let rec = &self.msgs[midx as usize];
+                    self.procs[pi]
                         .exact
                         .as_ref()
-                        .expect("checked above")
-                        .contains(rec.sender as usize, rec.seq);
-                    if in_snapshot {
-                        rec.delivered_to += 1; // reached p via the snapshot
-                    } else {
-                        kept.push((midx, arrived));
-                    }
+                        .is_some_and(|e| e.contains(rec.sender as usize, rec.seq))
+                };
+                if in_snapshot {
+                    self.msgs[midx as usize].delivered_to += 1; // via the snapshot
+                } else {
+                    let ticket = self.procs[pi].wake.ticket();
+                    self.classify(pi, ticket, midx, arrived, 0);
                 }
-                self.procs[pi].pending = kept;
             }
         }
         self.metrics.joins += 1;
@@ -373,8 +371,9 @@ impl<D: Discipline> Engine<'_, D> {
                 return;
             }
         }
-        self.procs[pi].pending.push((msg, now));
-        self.metrics.pending_peak = self.metrics.pending_peak.max(self.procs[pi].pending.len());
+        let ticket = self.procs[pi].wake.ticket();
+        self.classify(pi, ticket, msg, now, 0);
+        self.metrics.pending_peak = self.metrics.pending_peak.max(self.procs[pi].wake.len());
         // A syncing joiner only buffers; the sync-done reconciliation
         // drains whatever the snapshot does not cover.
         if !self.procs[pi].syncing {
@@ -382,37 +381,57 @@ impl<D: Discipline> Engine<'_, D> {
         }
     }
 
+    /// Asks the discipline where the message blocks (resuming the channel
+    /// scan at `start`) and files the verdict in the wake table.
+    fn classify(&mut self, pi: usize, ticket: u64, msg: u32, arrived: u64, start: usize) {
+        let gap = {
+            let rec = &self.msgs[msg as usize];
+            let sender = ProcessId::new(rec.sender as usize);
+            let stamp = rec.stamp.as_ref().expect("stamp alive while pending");
+            self.procs[pi].disc.wait_gap(sender, &self.keys[rec.sender as usize], stamp, start)
+        };
+        match gap {
+            Gap::Ready => self.procs[pi].wake.make_ready(ticket, msg, arrived),
+            Gap::Blocked { entry, required } => {
+                self.procs[pi].wake.park(entry, required, ticket, msg, arrived);
+            }
+            Gap::Never => self.procs[pi].wake.kill(msg, arrived),
+        }
+    }
+
+    /// Delivers everything ready, waking only the waiters parked on the
+    /// channels each delivery advanced — `O(actually-unblocked)` per
+    /// delivery instead of the old `O(pending)` restart scan. Ready
+    /// messages pop in arrival order, so the delivery order is exactly
+    /// the legacy scan's.
     fn drain(&mut self, pi: usize, now: u64) {
         let n = self.procs.len();
         let direct = self.gossip_fanout.is_none();
-        loop {
-            let mut delivered_any = false;
-            let mut i = 0;
-            while i < self.procs[pi].pending.len() {
-                let (midx, arrived_at) = self.procs[pi].pending[i];
-                let ready = {
-                    let rec = &self.msgs[midx as usize];
-                    let sender = ProcessId::new(rec.sender as usize);
-                    let stamp = rec.stamp.as_ref().expect("stamp alive while pending");
-                    self.procs[pi].disc.is_deliverable(
-                        sender,
-                        &self.keys[rec.sender as usize],
-                        stamp,
-                    )
-                };
-                if ready {
-                    self.procs[pi].pending.remove(i);
-                    self.deliver(pi, midx, arrived_at, now, n, direct);
-                    delivered_any = true;
-                    // Restart the scan: the clock advanced, earlier-queued
-                    // messages may have become ready.
-                    i = 0;
-                } else {
-                    i += 1;
-                }
+        let mut advanced: Vec<usize> = Vec::new();
+        let mut woken: Vec<(u64, u32, u64)> = Vec::new();
+        while let Some((midx, arrived_at)) = self.procs[pi].wake.pop_ready() {
+            advanced.clear();
+            {
+                let rec = &self.msgs[midx as usize];
+                let sender = ProcessId::new(rec.sender as usize);
+                let stamp = rec.stamp.as_ref().expect("stamp alive while pending");
+                self.procs[pi].disc.advanced_channels(
+                    sender,
+                    &self.keys[rec.sender as usize],
+                    stamp,
+                    &mut advanced,
+                );
             }
-            if !delivered_any {
-                return;
+            self.deliver(pi, midx, arrived_at, now, n, direct);
+            for &channel in &advanced {
+                let value = self.procs[pi].disc.channel_value(channel);
+                woken.clear();
+                self.procs[pi].wake.pop_woken(channel, value, &mut woken);
+                for &(ticket, msg, arrived) in &woken {
+                    // Resume each waiter's scan at the channel it was
+                    // parked on: earlier channels stayed satisfied.
+                    self.classify(pi, ticket, msg, arrived, channel);
+                }
             }
         }
     }
@@ -457,12 +476,8 @@ impl<D: Discipline> Engine<'_, D> {
             self.metrics.exact_violations += u64::from(violation);
             self.metrics.alg4_alerts += u64::from(alerts.instant);
             self.metrics.alg5_alerts += u64::from(alerts.recent);
-            self.metrics
-                .delay_ms
-                .push((now - rec.sent_at) as f64 / MICROS_PER_MS);
-            self.metrics
-                .blocking_ms
-                .push((now - arrived_at) as f64 / MICROS_PER_MS);
+            self.metrics.delay_ms.push((now - rec.sent_at) as f64 / MICROS_PER_MS);
+            self.metrics.blocking_ms.push((now - arrived_at) as f64 / MICROS_PER_MS);
         }
         // Free the arena slot once everyone has it (direct mode).
         if direct && rec.delivered_to >= rec.targets {
@@ -504,22 +519,25 @@ where
 
     let mut assigner =
         KeyAssigner::new(space, config.policy, crate::rng::derive_seed(config.seed, 1));
-    let keys: Vec<KeySet> = assigner
-        .assign_n(n)
-        .map_err(|e| SimError::Assignment(e.to_string()))?;
+    let keys: Vec<KeySet> =
+        assigner.assign_n(n).map_err(|e| SimError::Assignment(e.to_string()))?;
 
     let initial_active = config.churn.map_or(n, |c| c.initial);
     let procs: Vec<Proc<D>> = (0..n)
-        .map(|i| Proc {
-            disc: make(ProcessId::new(i), keys[i].clone()),
-            active: false,
-            syncing: false,
-            pending: Vec::new(),
-            true_vc: if track_truth { vec![0u32; n] } else { Vec::new() },
-            sent_count: 0,
-            exact: config.track_exact.then(|| ExactChecker::new(n)),
-            eps: config.track_epsilon.then(|| EpsilonEstimator::new(n)),
-            seen: gossip_fanout.map(|_| Vec::new()),
+        .map(|i| {
+            let disc = make(ProcessId::new(i), keys[i].clone());
+            let wake = WakeTable::new(disc.channel_count());
+            Proc {
+                disc,
+                active: false,
+                syncing: false,
+                wake,
+                true_vc: if track_truth { vec![0u32; n] } else { Vec::new() },
+                sent_count: 0,
+                exact: config.track_exact.then(|| ExactChecker::new(n)),
+                eps: config.track_epsilon.then(|| EpsilonEstimator::new(n)),
+                seen: gossip_fanout.map(|_| Vec::new()),
+            }
         })
         .collect();
 
@@ -547,10 +565,8 @@ where
         if churn.join_rate_per_sec > 0.0 {
             let mut t = 0u64;
             for p in initial_active as u32..n as u32 {
-                t += engine
-                    .rng
-                    .exponential(1000.0 * MICROS_PER_MS / churn.join_rate_per_sec)
-                    as u64;
+                t +=
+                    engine.rng.exponential(1000.0 * MICROS_PER_MS / churn.join_rate_per_sec) as u64;
                 if t > engine.duration_us {
                     break;
                 }
@@ -573,7 +589,7 @@ where
                 if proc.active {
                     proc.active = false;
                     proc.syncing = false;
-                    proc.pending.clear();
+                    proc.wake.clear();
                     engine.metrics.leaves += 1;
                 }
             }
@@ -586,9 +602,13 @@ where
     metrics.stuck = engine
         .procs
         .iter()
-        .flat_map(|pr| pr.pending.iter())
+        .flat_map(|pr| pr.wake.pending_msgs())
         .filter(|(m, _)| engine.msgs[*m as usize].measured)
         .count() as u64;
+    for pr in &engine.procs {
+        metrics.wake_gap_checks += pr.wake.stats().gap_checks;
+        metrics.wake_wakeups += pr.wake.stats().wakeups;
+    }
     metrics.undelivered = engine
         .msgs
         .iter()
@@ -621,9 +641,7 @@ pub fn simulate_prob_detecting(
     window_ms: f64,
 ) -> Result<RunMetrics, SimError> {
     let window_us = ms_to_us(window_ms);
-    simulate(config, space, |_, keys| {
-        pcb_broadcast::DetectingProbDiscipline::new(keys, window_us)
-    })
+    simulate(config, space, |_, keys| pcb_broadcast::DetectingProbDiscipline::new(keys, window_us))
 }
 
 /// Convenience: the exact vector-clock baseline.
@@ -690,10 +708,7 @@ mod tests {
         // (R, K) = (N, 1) distinct entries: behaves like a vector clock.
         let cfg = tiny_config();
         let space = KeySpace::vector(cfg.n).unwrap();
-        let cfg_distinct = SimConfig {
-            policy: pcb_clock::AssignmentPolicy::RoundRobin,
-            ..cfg
-        };
+        let cfg_distinct = SimConfig { policy: pcb_clock::AssignmentPolicy::RoundRobin, ..cfg };
         let metrics = simulate_prob(&cfg_distinct, space).unwrap();
         assert!(metrics.deliveries > 0);
         assert_eq!(metrics.exact_violations, 0);
@@ -748,10 +763,7 @@ mod tests {
         };
         let m = simulate_immediate(&cfg).unwrap();
         assert!(m.deliveries > 1000);
-        assert!(
-            m.exact_violations > 0,
-            "heavy concurrency must produce unordered violations"
-        );
+        assert!(m.exact_violations > 0, "heavy concurrency must produce unordered violations");
     }
 
     #[test]
@@ -833,10 +845,7 @@ mod tests {
             delivered > 0.5,
             "most messages should still clear the causal guard, got {delivered}"
         );
-        assert!(
-            m.undelivered >= m.stuck,
-            "undelivered covers both lost and blocked messages"
-        );
+        assert!(m.undelivered >= m.stuck, "undelivered covers both lost and blocked messages");
     }
 
     #[test]
@@ -972,15 +981,27 @@ mod tests {
         }
         // Bimodal (two latency clusters) reorders far more than uniform
         // (bounded support).
-        let get = |d: LatencyDistribution| {
-            rates.iter().find(|(x, _)| *x == d).expect("present").1
-        };
+        let get = |d: LatencyDistribution| rates.iter().find(|(x, _)| *x == d).expect("present").1;
         assert!(
             get(LatencyDistribution::Bimodal) > get(LatencyDistribution::Uniform),
             "bimodal {} should exceed uniform {}",
             get(LatencyDistribution::Bimodal),
             get(LatencyDistribution::Uniform)
         );
+    }
+
+    #[test]
+    fn wake_stats_are_populated_and_bounded() {
+        let cfg = tiny_config();
+        let space = KeySpace::new(16, 2).unwrap();
+        let m = simulate_prob(&cfg, space).unwrap();
+        assert!(
+            m.wake_gap_checks >= m.deliveries,
+            "every delivered message is classified at least once: {} < {}",
+            m.wake_gap_checks,
+            m.deliveries
+        );
+        assert!(m.wake_wakeups <= m.wake_gap_checks, "each wake is re-classified");
     }
 
     #[test]

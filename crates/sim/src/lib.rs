@@ -35,6 +35,7 @@ pub mod oracle;
 pub mod report;
 pub mod rng;
 pub mod runner;
+pub mod wake;
 
 pub use config::{ChurnModel, Dissemination, LatencyDistribution, LossModel, SimConfig};
 pub use engine::{

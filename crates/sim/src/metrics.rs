@@ -47,6 +47,11 @@ pub struct RunMetrics {
     pub wall_secs: f64,
     /// Virtual milliseconds simulated (including drain).
     pub virtual_ms: f64,
+    /// Wake-table gap classifications across all processes (arrivals plus
+    /// wake re-checks) — the indexed engine's total guard work.
+    pub wake_gap_checks: u64,
+    /// Waiters woken from wake channels by deliveries.
+    pub wake_wakeups: u64,
 }
 
 impl RunMetrics {

@@ -105,8 +105,7 @@ impl SweepPoint {
 }
 
 fn run_point(cfg: &SimConfig, k: usize, reps: usize) -> Result<SweepPoint, SimError> {
-    let space = KeySpace::new(PAPER_R, k)
-        .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+    let space = KeySpace::new(PAPER_R, k).map_err(|e| SimError::InvalidConfig(e.to_string()))?;
     let mut pooled = RunMetrics::default();
     for rep in 0..reps.max(1) {
         let cfg = SimConfig { seed: derive_seed(cfg.seed, 1000 + rep as u64), ..cfg.clone() };
@@ -131,8 +130,8 @@ pub fn figure3(
     let mut rows = Vec::new();
     for &n in ns {
         for &k in ks {
-            let cfg = SimConfig { n, ..base_config(opts) }
-                .with_constant_receive_rate(PAPER_RECEIVE_RATE);
+            let cfg =
+                SimConfig { n, ..base_config(opts) }.with_constant_receive_rate(PAPER_RECEIVE_RATE);
             rows.push(run_point(&cfg, k, opts.reps)?);
         }
     }
@@ -157,11 +156,7 @@ pub fn figure4(opts: SweepOptions, lambdas_ms: &[f64]) -> Result<Vec<SweepPoint>
     lambdas_ms
         .iter()
         .map(|&lambda| {
-            let cfg = SimConfig {
-                n: PAPER_N,
-                mean_send_interval_ms: lambda,
-                ..base_config(opts)
-            };
+            let cfg = SimConfig { n: PAPER_N, mean_send_interval_ms: lambda, ..base_config(opts) };
             run_point(&cfg, PAPER_K, opts.reps)
         })
         .collect()
@@ -183,11 +178,7 @@ pub fn figure4_defaults() -> Vec<f64> {
 pub fn figure5(opts: SweepOptions, ns: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
     ns.iter()
         .map(|&n| {
-            let cfg = SimConfig {
-                n,
-                mean_send_interval_ms: PAPER_LAMBDA_MS,
-                ..base_config(opts)
-            };
+            let cfg = SimConfig { n, mean_send_interval_ms: PAPER_LAMBDA_MS, ..base_config(opts) };
             run_point(&cfg, PAPER_K, opts.reps)
         })
         .collect()
@@ -209,8 +200,8 @@ pub fn figure5_defaults() -> Vec<usize> {
 pub fn figure6(opts: SweepOptions, ns: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
     ns.iter()
         .map(|&n| {
-            let cfg = SimConfig { n, ..base_config(opts) }
-                .with_constant_receive_rate(PAPER_RECEIVE_RATE);
+            let cfg =
+                SimConfig { n, ..base_config(opts) }.with_constant_receive_rate(PAPER_RECEIVE_RATE);
             run_point(&cfg, PAPER_K, opts.reps)
         })
         .collect()
@@ -246,18 +237,11 @@ impl EpsilonValidation {
 /// # Errors
 ///
 /// Propagates simulation failure.
-pub fn epsilon_validation(
-    opts: SweepOptions,
-    n: usize,
-) -> Result<EpsilonValidation, SimError> {
-    let cfg = SimConfig {
-        n,
-        track_epsilon: true,
-        ..base_config(opts)
-    }
-    .with_constant_receive_rate(PAPER_RECEIVE_RATE);
-    let space = KeySpace::new(PAPER_R, PAPER_K)
-        .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+pub fn epsilon_validation(opts: SweepOptions, n: usize) -> Result<EpsilonValidation, SimError> {
+    let cfg = SimConfig { n, track_epsilon: true, ..base_config(opts) }
+        .with_constant_receive_rate(PAPER_RECEIVE_RATE);
+    let space =
+        KeySpace::new(PAPER_R, PAPER_K).map_err(|e| SimError::InvalidConfig(e.to_string()))?;
     let metrics = simulate_prob(&cfg, space)?;
     Ok(EpsilonValidation { metrics })
 }

@@ -9,13 +9,13 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SimConfig> {
     (
-        2usize..12,          // n
-        20f64..400.0,        // mean send interval ms
-        10f64..120.0,        // latency mean
-        0f64..30.0,          // latency sigma
-        0f64..30.0,          // skew sigma
-        0u64..1000,          // seed
-        0usize..4,           // distribution selector
+        2usize..12,   // n
+        20f64..400.0, // mean send interval ms
+        10f64..120.0, // latency mean
+        0f64..30.0,   // latency sigma
+        0f64..30.0,   // skew sigma
+        0u64..1000,   // seed
+        0usize..4,    // distribution selector
     )
         .prop_map(|(n, interval, lat, sigma, skew, seed, dist)| SimConfig {
             n,

@@ -18,10 +18,8 @@ type Chat = (String, String); // (author, text)
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let users = ["alice", "bob", "carol", "dave", "erin", "frank"];
-    let config = ClusterConfig {
-        latency: LatencyModel::fast(),
-        ..ClusterConfig::quick(users.len())
-    };
+    let config =
+        ClusterConfig { latency: LatencyModel::fast(), ..ClusterConfig::quick(users.len()) };
     let cluster = Cluster::<Chat>::start(config)?;
 
     // Alice asks; everyone else answers after *seeing* the question.
@@ -46,12 +44,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Alice's screen: the five replies, all causally after her question.
+    // The replies are mutually *concurrent*, and `quick` uses a colliding
+    // (16, 2) clock, so Algorithm 4 may raise (false) alerts when earlier
+    // replies cover a later replier's entries — that over-alerting is the
+    // documented trade-off, not an ordering error: every reply is a causal
+    // successor of a question Alice trivially has.
     println!();
     println!("[alice's screen]");
+    let mut alerts = 0;
     for _ in 1..users.len() {
         let d = cluster.node(0).deliveries().recv_timeout(Duration::from_secs(5))?;
         println!("  {}: {}", d.message.payload().0, d.message.payload().1);
-        assert!(!d.instant_alert, "nominal traffic raises no alert");
+        alerts += u32::from(d.instant_alert);
+    }
+    if alerts > 0 {
+        println!("  ({alerts} Algorithm 4 alerts — false alarms from concurrent replies)");
     }
 
     // Each user's protocol stats.
@@ -60,10 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let status = cluster.node(i).status().ok_or("node down")?;
         println!(
             "{user:>6}: sent={} delivered={} pending={} clock={}",
-            status.stats.sent,
-            status.stats.delivered,
-            status.pending,
-            status.clock
+            status.stats.sent, status.stats.delivered, status.pending, status.clock
         );
     }
 

@@ -49,7 +49,11 @@ impl Document {
         let mut out = String::new();
         self.render("ROOT", 0, &mut out);
         if !self.orphans.is_empty() {
-            out.push_str(&format!("!! {} orphaned edit(s): {:?}\n", self.orphans.len(), self.orphans));
+            out.push_str(&format!(
+                "!! {} orphaned edit(s): {:?}\n",
+                self.orphans.len(),
+                self.orphans
+            ));
         }
         out
     }

@@ -23,9 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let loss = 0.30;
 
     println!("cluster of {n} nodes, {:.0}% delivery loss, anti-entropy enabled", loss * 100.0);
-    let cluster = Cluster::<String>::start(
-        pcb::runtime::ClusterConfig::lossy_with_recovery(n, loss),
-    )?;
+    let cluster =
+        Cluster::<String>::start(pcb::runtime::ClusterConfig::lossy_with_recovery(n, loss))?;
 
     for k in 0..per_node {
         for i in 0..n {
@@ -38,9 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Wait for convergence.
     let start = Instant::now();
     loop {
-        let delivered: Vec<u64> = (0..n)
-            .map(|i| cluster.node(i).status().map_or(0, |s| s.stats.delivered))
-            .collect();
+        let delivered: Vec<u64> =
+            (0..n).map(|i| cluster.node(i).status().map_or(0, |s| s.stats.delivered)).collect();
         if delivered.iter().all(|&d| d >= expected) {
             println!("converged in {:?}", start.elapsed());
             break;
@@ -53,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!();
-    println!("{:>6} {:>10} {:>9} {:>14} {:>10}", "node", "delivered", "pending", "sync requests", "recovered");
+    println!(
+        "{:>6} {:>10} {:>9} {:>14} {:>10}",
+        "node", "delivered", "pending", "sync requests", "recovered"
+    );
     let mut total_recovered = 0;
     for i in 0..n {
         let s = cluster.node(i).status().ok_or("node down")?;

@@ -15,8 +15,7 @@ use pcb::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's running example: R = 4 entries, K = 2 per process.
     let space = KeySpace::new(4, 2)?;
-    let keys =
-        |entries: &[usize]| KeySet::from_entries(space, entries).expect("valid entries");
+    let keys = |entries: &[usize]| KeySet::from_entries(space, entries).expect("valid entries");
 
     println!("== Figure 1: nominal causal delivery ==");
     let mut p_i = PcbProcess::new(ProcessId::new(0), keys(&[0, 1]));

@@ -84,8 +84,7 @@ fn trial_orphans(r: usize, k: usize, seed: u32) -> Result<usize, Box<dyn std::er
     use pcb::crdt::{RgaOp, HEAD};
 
     let space = KeySpace::new(r, k)?;
-    let mut assigner =
-        KeyAssigner::new(space, AssignmentPolicy::UniformRandom, u64::from(seed));
+    let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, u64::from(seed));
     let mut rng = StdRng::seed_from_u64(u64::from(seed) ^ 0xFEED);
 
     let mut writer_a = Replica::new(ProcessId::new(0), assigner.next_set()?, Rga::new(1));
@@ -102,11 +101,8 @@ fn trial_orphans(r: usize, k: usize, seed: u32) -> Result<usize, Box<dyn std::er
     // Six concurrent head inserts from writers that never saw `m`.
     let mut concurrent = Vec::new();
     for i in 0..6 {
-        let mut w = Replica::new(
-            ProcessId::new(2 + i),
-            assigner.next_set()?,
-            Rga::new(3 + i as u64),
-        );
+        let mut w =
+            Replica::new(ProcessId::new(2 + i), assigner.next_set()?, Rga::new(3 + i as u64));
         concurrent.push(
             w.update(|doc| doc.insert_after(HEAD, char::from(b'c' + i as u8)))
                 .expect("head insert"),

@@ -58,8 +58,8 @@
 
 pub use pcb_analysis as analysis;
 pub use pcb_broadcast as broadcast;
-pub use pcb_crdt as crdt;
 pub use pcb_clock as clock;
+pub use pcb_crdt as crdt;
 pub use pcb_runtime as runtime;
 pub use pcb_sim as sim;
 
@@ -69,11 +69,11 @@ pub mod prelude {
     pub use pcb_broadcast::{
         Delivery, Discipline, Group, Message, MessageId, PcbConfig, PcbProcess, ProbDiscipline,
     };
-    pub use pcb_crdt::{Counter, OrSet, Replica, Rga};
     pub use pcb_clock::{
         AssignmentPolicy, KeyAssigner, KeySet, KeySpace, ProbClock, ProcessId, Timestamp,
         VectorClock,
     };
+    pub use pcb_crdt::{Counter, OrSet, Replica, Rga};
     pub use pcb_runtime::{Cluster, ClusterConfig, LatencyModel};
     pub use pcb_sim::{simulate_prob, RunMetrics, SimConfig};
 }

@@ -31,34 +31,25 @@ fn collaborative_editor_over_live_cluster() {
     cluster.node(0).broadcast(op2.clone()).unwrap();
 
     // Editors 1 and 2 wait for both ops, apply them, then append.
-    for editor in 1..n {
+    for (editor, doc) in docs.iter_mut().enumerate().skip(1) {
         for _ in 0..2 {
-            let d = cluster
-                .node(editor)
-                .deliveries()
-                .recv_timeout(Duration::from_secs(10))
-                .unwrap();
-            docs[editor].apply(d.message.payload());
+            let d =
+                cluster.node(editor).deliveries().recv_timeout(Duration::from_secs(10)).unwrap();
+            doc.apply(d.message.payload());
         }
-        assert_eq!(docs[editor].text(), "hi");
-        let tail = docs[editor].text().chars().count();
-        let op = docs[editor]
-            .delete_at(tail - 1)
-            .expect("there is a character to delete");
+        assert_eq!(doc.text(), "hi");
+        let tail = doc.text().chars().count();
+        let op = doc.delete_at(tail - 1).expect("there is a character to delete");
         let _ = op; // editor 1 deletes 'i'; editor 2 deletes whatever is last
         cluster
             .node(editor)
-            .broadcast(docs[editor].insert_after(HEAD, char::from(b'0' + editor as u8)).unwrap())
+            .broadcast(doc.insert_after(HEAD, char::from(b'0' + editor as u8)).unwrap())
             .unwrap();
     }
 
     // Editor 0 consumes everything the others broadcast (2 messages).
     for _ in 0..2 {
-        let d = cluster
-            .node(0)
-            .deliveries()
-            .recv_timeout(Duration::from_secs(10))
-            .unwrap();
+        let d = cluster.node(0).deliveries().recv_timeout(Duration::from_secs(10)).unwrap();
         docs[0].apply(d.message.payload());
     }
     // All replicas that saw the same set of ops have zero orphans — the
@@ -101,8 +92,10 @@ fn wire_codec_roundtrips_through_an_endpoint_conversation() {
     use bytes::Bytes;
     let space = KeySpace::new(32, 3).unwrap();
     let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, 5);
-    let mut tx: PcbProcess<Bytes> = PcbProcess::new(ProcessId::new(0), assigner.next_set().unwrap());
-    let mut rx: PcbProcess<Bytes> = PcbProcess::new(ProcessId::new(1), assigner.next_set().unwrap());
+    let mut tx: PcbProcess<Bytes> =
+        PcbProcess::new(ProcessId::new(0), assigner.next_set().unwrap());
+    let mut rx: PcbProcess<Bytes> =
+        PcbProcess::new(ProcessId::new(1), assigner.next_set().unwrap());
 
     let mut delivered = 0;
     for i in 0..20u8 {

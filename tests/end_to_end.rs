@@ -51,10 +51,8 @@ fn violation_rate_decreases_with_vector_length() {
 fn violation_rate_increases_with_load() {
     // Same clock, doubled concurrency: more errors (Figure 4's knee).
     let base = quick_cfg(60);
-    let loaded = SimConfig {
-        mean_send_interval_ms: base.mean_send_interval_ms / 4.0,
-        ..base.clone()
-    };
+    let loaded =
+        SimConfig { mean_send_interval_ms: base.mean_send_interval_ms / 4.0, ..base.clone() };
     let space = KeySpace::new(48, 3).unwrap();
     let calm = simulate_prob(&base, space).unwrap();
     let busy = simulate_prob(&loaded, space).unwrap();

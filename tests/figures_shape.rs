@@ -35,14 +35,8 @@ fn figure3_shape_interior_k_beats_extremes() {
     let k4 = rate_for_k(4, 5);
     let k10 = rate_for_k(10, 5);
     let interior = k3.min(k4);
-    assert!(
-        interior < k1,
-        "interior K ({interior:.3e}) must beat K=1 ({k1:.3e})"
-    );
-    assert!(
-        interior < k10,
-        "interior K ({interior:.3e}) must beat K=10 ({k10:.3e})"
-    );
+    assert!(interior < k1, "interior K ({interior:.3e}) must beat K=1 ({k1:.3e})");
+    assert!(interior < k10, "interior K ({interior:.3e}) must beat K=10 ({k10:.3e})");
 }
 
 #[test]
@@ -56,11 +50,7 @@ fn figure3_theory_optimum_matches_measured_neighbourhood() {
     for k in 1..=6 {
         rates.push((k, rate_for_k(k, 6)));
     }
-    let best = rates
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .copied()
-        .expect("non-empty");
+    let best = rates.iter().min_by(|a, b| a.1.total_cmp(&b.1)).copied().expect("non-empty");
     assert!(
         (2..=4).contains(&best.0),
         "measured optimum K = {} (rate {:.3e}) outside the flat optimum region; \
@@ -81,10 +71,7 @@ fn figure4_shape_knee_below_design_lambda() {
     let n = 60;
     let lambda_design = n as f64 / 200.0 * 1000.0; // X = 20
     let run = |lambda: f64, seed| {
-        let c = SimConfig {
-            mean_send_interval_ms: lambda,
-            ..cfg(n, seed)
-        };
+        let c = SimConfig { mean_send_interval_ms: lambda, ..cfg(n, seed) };
         simulate_prob(&c, KeySpace::new(100, 4).unwrap()).unwrap().violation_rate()
     };
     let fast = run(lambda_design / 4.0, 7); // X = 80
@@ -94,7 +81,10 @@ fn figure4_shape_knee_below_design_lambda() {
         fast > 5.0 * design.max(1e-6),
         "quartered λ must blow up the rate: {fast:.3e} vs {design:.3e}"
     );
-    assert!(slow <= design * 1.5 + 1e-5, "slower sending must not hurt: {slow:.3e} vs {design:.3e}");
+    assert!(
+        slow <= design * 1.5 + 1e-5,
+        "slower sending must not hurt: {slow:.3e} vs {design:.3e}"
+    );
 }
 
 #[test]
@@ -103,18 +93,12 @@ fn figure5_shape_rate_grows_with_n_at_fixed_lambda() {
     // error rate (Figure 5's growth past the estimate).
     let lambda = 300.0; // small N stand-in for the paper's 5000 ms at N=1000
     let run = |n: usize| {
-        let c = SimConfig {
-            mean_send_interval_ms: lambda,
-            ..cfg(n, 8)
-        };
+        let c = SimConfig { mean_send_interval_ms: lambda, ..cfg(n, 8) };
         simulate_prob(&c, KeySpace::new(100, 4).unwrap()).unwrap().violation_rate()
     };
     let small = run(30);
     let large = run(90);
-    assert!(
-        large > small,
-        "3x N at fixed λ must raise the rate: {large:.3e} vs {small:.3e}"
-    );
+    assert!(large > small, "3x N at fixed λ must raise the rate: {large:.3e} vs {small:.3e}");
 }
 
 #[test]
@@ -123,9 +107,7 @@ fn figure6_shape_rate_flat_when_receive_rate_constant() {
     // the same ballpark as N grows (the paper: "it is the concurrency,
     // not N, that matters").
     let run = |n: usize| {
-        simulate_prob(&cfg(n, 9), KeySpace::new(100, 4).unwrap())
-            .unwrap()
-            .violation_rate()
+        simulate_prob(&cfg(n, 9), KeySpace::new(100, 4).unwrap()).unwrap().violation_rate()
     };
     let small = run(40);
     let large = run(120);

@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter` / `iter_batched`, `BatchSize`,
+//! and the `criterion_group!` / `criterion_main!` macros — backed by a
+//! simple wall-clock harness. Each benchmark is warmed up briefly, then
+//! timed over enough iterations to fill a short measurement window, and
+//! the mean ns/iter is printed. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. Only the hint; the
+/// stand-in always runs one routine call per setup call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    /// Total time spent in measured routine calls.
+    elapsed: Duration,
+    /// Number of measured routine calls.
+    iterations: u64,
+    /// Measurement window to fill.
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Self { elapsed: Duration::ZERO, iterations: 0, target }
+    }
+
+    /// Times `routine` repeatedly until the measurement window fills.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        std::hint::black_box(routine());
+        while self.elapsed < self.target {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        while self.elapsed < self.target {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("{name:<40} no measurements");
+            return;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let ns_per_iter = self.elapsed.as_nanos() as f64 / self.iterations as f64;
+        println!("{name:<40} {ns_per_iter:>14.1} ns/iter  ({} iters)", self.iterations);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes runs by wall
+    /// clock, not sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short window: these runs gate nothing statistical, they print
+        // comparable ns/iter figures.
+        Self { measurement_time: Duration::from_millis(400) }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned() }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher::new(self.measurement_time);
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut criterion = Criterion::default().measurement_time(Duration::from_millis(5));
+        criterion.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_run_batched_benchmarks() {
+        let mut criterion = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(10).bench_function("sum", |b| {
+            b.iter_batched(|| vec![1u64; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

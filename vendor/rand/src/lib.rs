@@ -1,0 +1,300 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the API surface it uses: [`rngs::StdRng`] (here a xoshiro256++
+//! generator seeded through SplitMix64), the [`SeedableRng`] constructor,
+//! and the [`RngExt`] sampling methods `random`, `random_range`, and
+//! `random_bool`. Streams are deterministic per seed but do NOT
+//! byte-match the real `rand::rngs::StdRng` (ChaCha12); nothing in this
+//! workspace depends on a particular stream, only on determinism and
+//! reasonable statistical quality.
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one value from the generator's raw stream.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Ranges usable with [`RngExt::random_range`]. Generic over the
+/// element type (rather than using an associated type) so integer
+/// literals in `rng.random_range(1..10)` infer from the expected
+/// output type, as they do with upstream `rand`.
+pub trait SampleRange<T> {
+    /// Draws a uniform value in the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw 64-bit stream every generator exposes.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A value of `T` drawn uniformly from its standard distribution
+    /// (`f64` in `[0, 1)`, integers over their full width).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive integer ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut dyn RngCore) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+fn uniform_u64_below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample an empty range");
+    // Lemire's widening-multiply method with rejection for exactness.
+    let mut x = rng.next_u64();
+    let mut m = u128::from(x) * u128::from(n);
+    let mut lo = m as u64;
+    if lo < n {
+        let threshold = n.wrapping_neg() % n;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = u128::from(x) * u128::from(n);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+fn uniform_u128_below(rng: &mut dyn RngCore, n: u128) -> u128 {
+    assert!(n > 0, "cannot sample an empty range");
+    if let Ok(small) = u64::try_from(n) {
+        return u128::from(uniform_u64_below(rng, small));
+    }
+    // Rejection sampling over the smallest covering power of two.
+    let bits = 128 - n.leading_zeros();
+    loop {
+        let raw = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        let candidate = raw >> (128 - bits);
+        if candidate < n {
+            return candidate;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let width = u128::from(self.end as u64) - u128::from(self.start as u64);
+                self.start + uniform_u128_below(rng, width) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample an empty range");
+                let width = u128::from(end as u64) - u128::from(start as u64) + 1;
+                start + uniform_u128_below(rng, width) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(usize, u64, u32, u16, u8);
+
+impl SampleRange<u128> for std::ops::Range<u128> {
+    fn sample(self, rng: &mut dyn RngCore) -> u128 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + uniform_u128_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u128> for std::ops::RangeInclusive<u128> {
+    fn sample(self, rng: &mut dyn RngCore) -> u128 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample an empty range");
+        if start == 0 && end == u128::MAX {
+            return (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        }
+        start + uniform_u128_below(rng, end - start + 1)
+    }
+}
+
+impl SampleRange<i64> for std::ops::Range<i64> {
+    #[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+    fn sample(self, rng: &mut dyn RngCore) -> i64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let width = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(uniform_u64_below(rng, width) as i64)
+    }
+}
+
+impl SampleRange<i32> for std::ops::Range<i32> {
+    #[allow(clippy::cast_possible_truncation)]
+    fn sample(self, rng: &mut dyn RngCore) -> i32 {
+        let wide = i64::from(self.start)..i64::from(self.end);
+        wide.sample(rng) as i32
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + (self.end - self.start) * f64::draw(rng)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// seed expansion. Deterministic per seed; not stream-compatible with
+    /// upstream `rand`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding for xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(0u128..1_000_000_000_000_000_000_000u128);
+            assert!(w < 1_000_000_000_000_000_000_000u128);
+            let x = rng.random_range(0u64..=5);
+            assert!(x <= 5);
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mean: f64 = (0..100_000).map(|_| rng.random::<f64>()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports no-op `Serialize`/`Deserialize` derive macros (see the
+//! vendored `serde_derive`). The workspace applies the derives as
+//! intent-documentation only; no serializer is wired up yet.
+
+pub use serde_derive::{Deserialize, Serialize};

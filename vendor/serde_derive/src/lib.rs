@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! documentation of intent — nothing serializes yet (no serde_json or
+//! bincode in the tree), and the build environment cannot fetch the real
+//! proc-macro stack. These derives accept the same syntax (including
+//! `#[serde(...)]` helper attributes) and expand to nothing; swap the
+//! real `serde` back in when a serializer lands.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
