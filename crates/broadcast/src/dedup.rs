@@ -73,6 +73,33 @@ impl DedupFilter {
         })
     }
 
+    /// The compressed per-sender state `(sender, prefix, exceptions)`,
+    /// sorted by sender — the filter's full contents in its native
+    /// `O(senders + gaps)` representation, for durable snapshots.
+    #[must_use]
+    pub fn export_windows(&self) -> Vec<(ProcessId, u64, Vec<u64>)> {
+        let mut out: Vec<_> = self
+            .windows
+            .iter()
+            .map(|(&sender, w)| (sender, w.prefix, w.exceptions.iter().copied().collect()))
+            .collect();
+        out.sort_by_key(|(sender, _, _)| *sender);
+        out
+    }
+
+    /// Rebuilds a filter from [`DedupFilter::export_windows`] output.
+    #[must_use]
+    pub fn from_windows(windows: impl IntoIterator<Item = (ProcessId, u64, Vec<u64>)>) -> Self {
+        let mut filter = Self::new();
+        for (sender, prefix, exceptions) in windows {
+            filter.windows.insert(
+                sender,
+                SenderWindow { prefix, exceptions: exceptions.into_iter().collect() },
+            );
+        }
+        filter
+    }
+
     /// Number of senders tracked.
     #[must_use]
     pub fn sender_count(&self) -> usize {

@@ -43,6 +43,7 @@ pub mod message;
 pub mod pending;
 pub mod process;
 pub mod recovery;
+pub mod snapshot;
 pub mod wire;
 
 pub use dedup::DedupFilter;
@@ -56,4 +57,5 @@ pub use message::{Message, MessageId};
 pub use pending::{WakeupIndex, WakeupStats};
 pub use process::{Delivery, PcbConfig, PcbProcess, ProcessStats};
 pub use recovery::{MessageStore, SyncRequest, SyncResponse};
+pub use snapshot::{decode_snapshot, encode_snapshot, ProcessSnapshot};
 pub use wire::{control_size, decode, encode, WireError};

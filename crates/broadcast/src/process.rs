@@ -223,6 +223,78 @@ impl<P> PcbProcess<P> {
         self.drain(now)
     }
 
+    /// Captures a crash-durable snapshot of this endpoint together with
+    /// its anti-entropy `store`. See [`crate::snapshot`] for what is (and
+    /// deliberately is not) included.
+    #[must_use]
+    pub fn snapshot(
+        &self,
+        store: &crate::recovery::MessageStore<P>,
+    ) -> crate::snapshot::ProcessSnapshot<P>
+    where
+        P: Clone,
+    {
+        crate::snapshot::ProcessSnapshot {
+            id: self.id,
+            keys: (*self.keys).clone(),
+            config: self.config.clone(),
+            clock: self.clock.vector().clone(),
+            seq: self.seq,
+            seen: self.seen.export_windows(),
+            stats: self.stats,
+            store_window: store.window(),
+            store: store.entries().map(|(t, m)| (t, m.clone())).collect(),
+        }
+    }
+
+    /// Rebuilds an endpoint (and its message store) from a snapshot. The
+    /// pending queue starts empty — undelivered messages lost in the
+    /// crash are re-fetched through anti-entropy. If any broadcasts
+    /// happened after the snapshot, follow up with
+    /// [`PcbProcess::replay_own_sends`] before sending again.
+    #[must_use]
+    pub fn restore(
+        snapshot: crate::snapshot::ProcessSnapshot<P>,
+    ) -> (Self, crate::recovery::MessageStore<P>) {
+        let clock = ProbClock::from_vector(snapshot.clock);
+        let pending = WakeupIndex::new(clock.len());
+        let recent = snapshot.config.recent_window.map(RecentListDetector::new);
+        let store =
+            crate::recovery::MessageStore::from_entries(snapshot.store_window, snapshot.store);
+        let process = Self {
+            id: snapshot.id,
+            keys: Arc::new(snapshot.keys),
+            clock,
+            seq: snapshot.seq,
+            pending,
+            seen: DedupFilter::from_windows(snapshot.seen),
+            recent,
+            config: snapshot.config,
+            stats: snapshot.stats,
+        };
+        (process, store)
+    }
+
+    /// Re-applies the clock effects of own broadcasts made after the
+    /// restored snapshot, up to the write-ahead durable sequence number
+    /// `durable_seq`. Without this, a recovered sender would re-issue
+    /// stamp heights already used before the crash and receivers would
+    /// discard its fresh messages as stale. Returns the number of sends
+    /// replayed; idempotent once caught up.
+    pub fn replay_own_sends(&mut self, durable_seq: u64) -> u64 {
+        let mut replayed = 0;
+        while self.seq < durable_seq {
+            self.seq += 1;
+            self.stats.sent += 1;
+            let _ = self.clock.stamp_send(&self.keys);
+            if self.config.dedup {
+                self.seen.insert(MessageId::new(self.id, self.seq));
+            }
+            replayed += 1;
+        }
+        replayed
+    }
+
     /// Delivers everything the index has marked ready. Each delivery
     /// advances exactly the sender's `K` clock entries; the index is told
     /// which, wakes only the waiters whose thresholds those crossings

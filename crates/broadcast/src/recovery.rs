@@ -11,17 +11,22 @@
 //! the response through `PcbProcess::on_receive` is idempotent thanks to
 //! duplicate suppression.
 
-use std::collections::HashSet;
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::message::{Message, MessageId};
 
 /// Bounded store of recently seen messages, retained for `window` time
-/// units, used to answer anti-entropy requests.
+/// units, used to answer anti-entropy requests. Lookups by id are `O(1)`:
+/// an id → absolute-position map rides alongside the deque, with a base
+/// offset advanced as old entries are evicted from the front.
 #[derive(Debug, Clone)]
 pub struct MessageStore<P> {
     window: u64,
     entries: VecDeque<(u64, Message<P>)>,
+    /// Absolute position (monotone since store creation) of each retained
+    /// id; subtract `base` to index `entries`.
+    index: HashMap<MessageId, u64>,
+    base: u64,
 }
 
 impl<P> MessageStore<P> {
@@ -29,13 +34,18 @@ impl<P> MessageStore<P> {
     /// few propagation delays, like the Algorithm 5 list).
     #[must_use]
     pub fn new(window: u64) -> Self {
-        Self { window, entries: VecDeque::new() }
+        Self { window, entries: VecDeque::new(), index: HashMap::new(), base: 0 }
     }
 
     /// Records a message (own broadcasts *and* deliveries both belong
-    /// here — a peer may be missing either).
+    /// here — a peer may be missing either). Idempotent by id: re-inserting
+    /// a retained message (e.g. a re-fetched duplicate) is a no-op.
     pub fn insert(&mut self, now: u64, message: Message<P>) {
         self.evict(now);
+        if self.index.contains_key(&message.id()) {
+            return;
+        }
+        self.index.insert(message.id(), self.base + self.entries.len() as u64);
         self.entries.push_back((now, message));
     }
 
@@ -51,10 +61,11 @@ impl<P> MessageStore<P> {
         self.entries.is_empty()
     }
 
-    /// Looks up one message by id.
+    /// Looks up one message by id in `O(1)`.
     #[must_use]
     pub fn get(&self, id: MessageId) -> Option<&Message<P>> {
-        self.entries.iter().find(|(_, m)| m.id() == id).map(|(_, m)| m)
+        let pos = *self.index.get(&id)?;
+        self.entries.get((pos - self.base) as usize).map(|(_, m)| m)
     }
 
     /// Iterates over retained messages, oldest first.
@@ -62,10 +73,36 @@ impl<P> MessageStore<P> {
         self.entries.iter().map(|(_, m)| m)
     }
 
+    /// Retained `(insert_time, message)` pairs, oldest first — the
+    /// store's full state, for durable snapshots.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &Message<P>)> {
+        self.entries.iter().map(|(t, m)| (*t, m))
+    }
+
+    /// The retention window this store was built with.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Rebuilds a store from snapshotted [`MessageStore::entries`] (which
+    /// are in insertion order; the index is reconstructed).
+    #[must_use]
+    pub fn from_entries(window: u64, entries: impl IntoIterator<Item = (u64, Message<P>)>) -> Self {
+        let mut store = Self::new(window);
+        for (at, message) in entries {
+            store.insert(at, message);
+        }
+        store
+    }
+
     fn evict(&mut self, now: u64) {
         let horizon = now.saturating_sub(self.window);
         while self.entries.front().is_some_and(|(t, _)| *t < horizon) {
-            self.entries.pop_front();
+            if let Some((_, m)) = self.entries.pop_front() {
+                self.index.remove(&m.id());
+                self.base += 1;
+            }
         }
     }
 }
@@ -132,6 +169,34 @@ mod tests {
         assert!(store.get(m2.id()).is_none(), "t=5 also expired at t=20");
         assert_eq!(store.len(), 1);
         assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_index_tracks_eviction() {
+        let mut a = proc(0, &[0, 1]);
+        let mut store: MessageStore<&'static str> = MessageStore::new(10);
+        let m1 = a.broadcast("one");
+        store.insert(0, m1.clone());
+        store.insert(3, m1.clone());
+        assert_eq!(store.len(), 1, "re-inserting a retained id is a no-op");
+        // Push the window forward so m1 evicts; the index must follow and
+        // positions of later entries must stay correct.
+        let m2 = a.broadcast("two");
+        let m3 = a.broadcast("three");
+        store.insert(5, m2.clone());
+        store.insert(20, m3.clone());
+        assert!(store.get(m1.id()).is_none());
+        assert_eq!(store.get(m2.id()).map(Message::id), None, "t=5 expired at t=20");
+        assert_eq!(store.get(m3.id()).unwrap().payload(), &"three");
+        // An evicted id may be re-inserted (e.g. re-fetched via sync).
+        store.insert(21, m1.clone());
+        assert_eq!(store.get(m1.id()).unwrap().payload(), &"one");
+        let roundtrip = MessageStore::from_entries(
+            store.window(),
+            store.entries().map(|(t, m)| (t, m.clone())).collect::<Vec<_>>(),
+        );
+        assert_eq!(roundtrip.len(), store.len());
+        assert_eq!(roundtrip.get(m1.id()).unwrap().payload(), &"one");
     }
 
     #[test]

@@ -5,18 +5,26 @@
 //! format is deliberately simple and self-contained:
 //!
 //! ```text
-//! u8   version (= 1)
+//! u8   version (= 2)
 //! uvar sender index
 //! uvar sequence number
 //! uvar R (vector length)        uvar K (entries per process)
 //! u128 set_id (16 bytes, LE)    -- the key set, not its expansion
 //! uvar × R timestamp entries    -- LEB128 varints; small counters stay small
 //! uvar payload length, payload bytes
+//! u64  FNV-1a checksum (LE)     -- over every preceding byte
 //! ```
 //!
 //! With fresh clocks the stamp costs ~1 byte per entry, approaching the
 //! paper's "few integer timestamps"; entries grow logarithmically with
 //! traffic. Decoding recomputes the key set from `set_id` via Algorithm 3.
+//!
+//! Version 2 appends a 64-bit FNV-1a checksum so in-flight corruption is
+//! *detected*, never delivered: each FNV step `x ↦ (x ⊕ b) · prime` is a
+//! bijection of the state for fixed position, so any single-byte
+//! substitution is guaranteed to change the digest. Decoding is total —
+//! arbitrary bytes either yield a well-formed message or a [`WireError`],
+//! never a panic.
 
 use std::sync::Arc;
 
@@ -25,7 +33,8 @@ use pcb_clock::{KeySet, KeySpace, ProcessId, Timestamp};
 
 use crate::message::{Message, MessageId};
 
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+const CHECKSUM_LEN: usize = 8;
 
 /// Errors decoding a wire frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +43,10 @@ pub enum WireError {
     Truncated,
     /// Unknown format version byte.
     BadVersion(u8),
+    /// The trailing FNV-1a digest does not match the frame body: the
+    /// frame was corrupted in flight and must be discarded (anti-entropy
+    /// re-fetches it).
+    ChecksumMismatch,
     /// A varint exceeded 64 bits.
     VarintOverflow,
     /// `(R, K)` or `set_id` failed validation.
@@ -45,6 +58,7 @@ impl std::fmt::Display for WireError {
         match self {
             Self::Truncated => write!(f, "frame truncated"),
             Self::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            Self::ChecksumMismatch => write!(f, "frame checksum mismatch"),
             Self::VarintOverflow => write!(f, "varint exceeds 64 bits"),
             Self::BadKeys(msg) => write!(f, "invalid key material: {msg}"),
         }
@@ -53,7 +67,36 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-fn put_uvar(buf: &mut BytesMut, mut v: u64) {
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends the FNV-1a digest of everything written so far.
+pub(crate) fn seal(mut buf: BytesMut) -> Bytes {
+    let digest = fnv1a64(&buf);
+    buf.put_u64_le(digest);
+    buf.freeze()
+}
+
+/// Strips and verifies the trailing digest, returning the frame body.
+pub(crate) fn checksum_verified(frame: &Bytes) -> Result<Bytes, WireError> {
+    if frame.len() < 1 + CHECKSUM_LEN {
+        return Err(WireError::Truncated);
+    }
+    let split = frame.len() - CHECKSUM_LEN;
+    let expected = u64::from_le_bytes(frame[split..].try_into().expect("checksum is 8 bytes"));
+    if fnv1a64(&frame[..split]) != expected {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok(frame.slice(0..split))
+}
+
+pub(crate) fn put_uvar(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -65,7 +108,7 @@ fn put_uvar(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_uvar(buf: &mut Bytes) -> Result<u64, WireError> {
+pub(crate) fn get_uvar(buf: &mut Bytes) -> Result<u64, WireError> {
     let mut v: u64 = 0;
     for shift in (0..64).step_by(7) {
         if !buf.has_remaining() {
@@ -104,22 +147,25 @@ pub fn encode(message: &Message<Bytes>) -> Bytes {
     }
     put_uvar(&mut buf, message.payload().len() as u64);
     buf.put_slice(message.payload());
-    buf.freeze()
+    seal(buf)
 }
 
 /// Decodes a frame produced by [`encode`].
 ///
 /// # Errors
 ///
-/// Any [`WireError`] on malformed input; decoding never panics.
-pub fn decode(mut frame: Bytes) -> Result<Message<Bytes>, WireError> {
-    if !frame.has_remaining() {
+/// Any [`WireError`] on malformed input; decoding never panics. The
+/// version byte is checked first (so foreign formats report
+/// [`WireError::BadVersion`]), then the trailing checksum, then the body.
+pub fn decode(frame: Bytes) -> Result<Message<Bytes>, WireError> {
+    if frame.is_empty() {
         return Err(WireError::Truncated);
     }
-    let version = frame.get_u8();
-    if version != VERSION {
-        return Err(WireError::BadVersion(version));
+    if frame[0] != VERSION {
+        return Err(WireError::BadVersion(frame[0]));
     }
+    let mut frame = checksum_verified(&frame)?;
+    frame.advance(1); // version, already checked
     let sender = get_uvar(&mut frame)? as usize;
     let seq = get_uvar(&mut frame)?;
     let r = get_uvar(&mut frame)? as usize;
@@ -217,7 +263,7 @@ mod tests {
         put_uvar(&mut buf, 4); // r
         put_uvar(&mut buf, 9); // k > r
         buf.put_u128_le(0);
-        let err = decode(buf.freeze()).unwrap_err();
+        let err = decode(seal(buf)).unwrap_err();
         assert!(matches!(err, WireError::BadKeys(_)));
     }
 
@@ -234,7 +280,7 @@ mod tests {
             put_uvar(&mut buf, 0);
         }
         put_uvar(&mut buf, 0);
-        let err = decode(buf.freeze()).unwrap_err();
+        let err = decode(seal(buf)).unwrap_err();
         assert!(matches!(err, WireError::BadKeys(_)));
     }
 
@@ -295,8 +341,35 @@ mod tests {
         put_uvar(&mut buf, 0); // sender
         buf.put_slice(&[0xFF; 9]);
         buf.put_u8(0x7F); // seq: ten bytes, junk in the tenth
-        let err = decode(buf.freeze()).unwrap_err();
+        let err = decode(seal(buf)).unwrap_err();
         assert_eq!(err, WireError::VarintOverflow);
+    }
+
+    #[test]
+    fn any_single_byte_substitution_is_rejected() {
+        // The FNV-1a step is a bijection per byte position, so every
+        // substitution must surface as an error (checksum mismatch, or
+        // bad-version for byte 0) — never decode as a different message.
+        let frame = encode(&sample(b"chaos payload"));
+        for i in 0..frame.len() {
+            for delta in [0x01u8, 0x80, 0xFF] {
+                let mut bytes = frame.to_vec();
+                bytes[i] ^= delta;
+                assert!(
+                    decode(Bytes::from(bytes)).is_err(),
+                    "substitution at byte {i} (xor {delta:#04x}) must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_rejected() {
+        let frame = encode(&sample(b"abc"));
+        for len in 0..frame.len() {
+            assert!(decode(frame.slice(0..len)).is_err(), "prefix of {len} bytes must fail");
+        }
+        assert!(decode(frame).is_ok());
     }
 
     #[test]

@@ -1,12 +1,14 @@
-//! Cluster orchestration: spawn `N` live nodes plus the latency router.
+//! Cluster orchestration: spawn `N` live nodes plus the latency router,
+//! with a fault-controller interface for chaos runs.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, Sender};
 use pcb_broadcast::PcbConfig;
 use pcb_clock::{AssignmentPolicy, KeyAssigner, KeySpace, ProcessId};
+use pcb_sim::{FaultKind, FaultPlan, LinkFaults};
 
-use crate::node::{spawn_node, NodeHandle, RecoveryConfig};
+use crate::node::{spawn_node, Command, NodeHandle, RecoveryConfig};
 use crate::transport::{spawn_router, LatencyModel, RouterMsg};
 
 /// Cluster construction parameters.
@@ -118,6 +120,7 @@ impl std::error::Error for ClusterError {
 #[derive(Debug)]
 pub struct Cluster<P: Send + Clone + 'static> {
     nodes: Vec<NodeHandle<P>>,
+    inboxes: Vec<Sender<Command<P>>>,
     router_tx: crossbeam::channel::Sender<RouterMsg<P>>,
     router_join: Option<std::thread::JoinHandle<()>>,
 }
@@ -154,12 +157,12 @@ impl<P: Send + Clone + 'static> Cluster<P> {
         // The router feeds node command queues directly.
         let router_join = spawn_router(
             router_rx,
-            inbox_senders,
+            inbox_senders.clone(),
             config.latency,
             config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
         );
 
-        Ok(Self { nodes, router_tx, router_join: Some(router_join) })
+        Ok(Self { nodes, inboxes: inbox_senders, router_tx, router_join: Some(router_join) })
     }
 
     /// Number of nodes.
@@ -187,6 +190,98 @@ impl<P: Send + Clone + 'static> Cluster<P> {
     /// Iterates over all node handles.
     pub fn nodes(&self) -> impl Iterator<Item = &NodeHandle<P>> {
         self.nodes.iter()
+    }
+
+    /// Fault injection: crashes node `i` (see [`NodeHandle::crash`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn crash(&self, i: usize) {
+        self.nodes[i].crash();
+    }
+
+    /// Fault injection: recovers node `i` from its last durable snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn recover(&self, i: usize) {
+        self.nodes[i].recover();
+    }
+
+    /// Fault injection: partitions the network into the given groups.
+    /// Traffic — broadcasts and anti-entropy sync alike — no longer
+    /// crosses group boundaries. Nodes in no group form an implicit
+    /// extra group.
+    pub fn set_partition(&self, groups: Vec<Vec<usize>>) {
+        let _ = self.router_tx.send(RouterMsg::SetPartition { groups });
+    }
+
+    /// Fault injection: heals any active partition.
+    pub fn heal(&self) {
+        let _ = self.router_tx.send(RouterMsg::Heal);
+    }
+
+    /// Fault injection: opens (`Some`) or closes (`None`) a window of
+    /// link-level misbehaviour — burst loss, duplication, reordering,
+    /// corruption (≡ loss on this in-memory transport) — on every
+    /// broadcast link.
+    pub fn set_link_faults(&self, faults: Option<LinkFaults>) {
+        let _ = self.router_tx.send(RouterMsg::SetLinkFaults(faults));
+    }
+
+    /// Replays a [`FaultPlan`] against this live cluster: a
+    /// fault-controller thread walks the plan's events in wall-clock
+    /// time (anchored at the moment of this call) and drives the
+    /// transport router and node event loops. The same plan interpreted
+    /// by the simulator produces the equivalent fault schedule in
+    /// virtual time.
+    ///
+    /// Returns the controller thread's handle; join it to know the plan
+    /// has fully fired. Shutting the cluster down early is safe — the
+    /// controller's sends to dead channels are ignored.
+    pub fn run_plan(&self, plan: &FaultPlan) -> std::thread::JoinHandle<()> {
+        let events = plan.events.clone();
+        let router_tx = self.router_tx.clone();
+        let inboxes = self.inboxes.clone();
+        let epoch = Instant::now();
+        std::thread::Builder::new()
+            .name("pcb-chaos".into())
+            .spawn(move || {
+                for event in events {
+                    let due = epoch + Duration::from_secs_f64(event.at_ms.max(0.0) / 1000.0);
+                    let wait = due.saturating_duration_since(Instant::now());
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                    match event.kind {
+                        FaultKind::Crash { node } => {
+                            if let Some(inbox) = inboxes.get(node) {
+                                let _ = inbox.send(Command::Crash);
+                            }
+                        }
+                        FaultKind::Recover { node } => {
+                            if let Some(inbox) = inboxes.get(node) {
+                                let _ = inbox.send(Command::Recover);
+                            }
+                        }
+                        FaultKind::PartitionStart { groups } => {
+                            let _ = router_tx.send(RouterMsg::SetPartition { groups });
+                        }
+                        FaultKind::PartitionEnd => {
+                            let _ = router_tx.send(RouterMsg::Heal);
+                        }
+                        FaultKind::LinkFaultStart { faults } => {
+                            let _ = router_tx.send(RouterMsg::SetLinkFaults(Some(faults)));
+                        }
+                        FaultKind::LinkFaultEnd => {
+                            let _ = router_tx.send(RouterMsg::SetLinkFaults(None));
+                        }
+                    }
+                }
+            })
+            .expect("spawn chaos controller thread")
     }
 
     /// Stops every node and the router, joining all threads.

@@ -28,4 +28,8 @@ pub mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterError};
 pub use node::{NodeHandle, NodeStatus, RecoveryConfig};
+// Chaos plans are shared with the simulator: the same `FaultPlan` drives
+// the sim engine's event loop in virtual time and this crate's
+// fault-controller thread in wall-clock time.
+pub use pcb_sim::{FaultEvent, FaultKind, FaultPlan, LinkFaults};
 pub use transport::LatencyModel;

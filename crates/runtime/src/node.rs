@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use pcb_broadcast::{
-    Delivery, Message, MessageId, MessageStore, PcbConfig, PcbProcess, SyncRequest,
+    Delivery, Message, MessageId, MessageStore, PcbConfig, PcbProcess, ProcessSnapshot, SyncRequest,
 };
 use pcb_clock::{KeySet, ProcessId, Timestamp};
 
@@ -23,6 +23,14 @@ pub struct RecoveryConfig {
     pub poll_every: Duration,
     /// How long delivered/own messages are retained for peers.
     pub store_window: Duration,
+    /// Period of the durable process snapshot. A crash loses at most this
+    /// much local progress; a recovering node restores the last snapshot
+    /// and refetches the rest through anti-entropy.
+    pub snapshot_every: Duration,
+    /// How long an issued sync request may stay unanswered before it is
+    /// considered lost (crashed peer, partition) and a new one may go
+    /// out. Without this, one dropped response deadlocks anti-entropy.
+    pub sync_timeout: Duration,
 }
 
 impl Default for RecoveryConfig {
@@ -31,6 +39,8 @@ impl Default for RecoveryConfig {
             stale_after: Duration::from_millis(100),
             poll_every: Duration::from_millis(25),
             store_window: Duration::from_secs(5),
+            snapshot_every: Duration::from_millis(250),
+            sync_timeout: Duration::from_millis(400),
         }
     }
 }
@@ -52,6 +62,12 @@ pub(crate) enum Command<P> {
     SyncResponse(Vec<Message<P>>),
     /// Snapshot request.
     Query(Sender<NodeStatus>),
+    /// Fault injection: halt the process, losing all volatile state
+    /// (pending queue, anything delivered since the last snapshot).
+    Crash,
+    /// Fault injection: restart from the last durable snapshot, replay
+    /// the own-send WAL, and catch up through anti-entropy.
+    Recover,
     /// Stop the event loop.
     Shutdown,
 }
@@ -70,6 +86,18 @@ pub struct NodeStatus {
     /// Deliveries unblocked by anti-entropy responses (the replayed
     /// messages plus any pending cascade they released).
     pub recovered: u64,
+    /// Sync requests this node has served for peers.
+    pub sync_served: u64,
+    /// Messages received inside sync responses (before dedup).
+    pub refetched: u64,
+    /// Durable snapshots taken.
+    pub snapshots_taken: u64,
+    /// Restarts that resumed from a durable snapshot.
+    pub snapshot_restores: u64,
+    /// Times the quiescence-probe backoff was re-armed to its minimum.
+    pub backoff_resets: u64,
+    /// Whether the node is currently crashed (fault injection).
+    pub crashed: bool,
     /// Work counters of the endpoint's entry-indexed pending set: gap
     /// checks, wake fan-out, pending high-water mark.
     pub wakeup: pcb_broadcast::WakeupStats,
@@ -118,6 +146,19 @@ impl<P: Send + 'static> NodeHandle<P> {
         rx.recv().ok()
     }
 
+    /// Fault injection: crashes the node. Volatile state (pending queue,
+    /// progress since the last snapshot) is lost; the node ignores all
+    /// traffic until [`NodeHandle::recover`].
+    pub fn crash(&self) {
+        let _ = self.cmd_tx.send(Command::Crash);
+    }
+
+    /// Fault injection: restarts a crashed node from its last durable
+    /// snapshot; it then catches up through anti-entropy.
+    pub fn recover(&self) {
+        let _ = self.cmd_tx.send(Command::Recover);
+    }
+
     /// Stops the node and joins its thread.
     pub fn shutdown(&mut self) {
         let _ = self.cmd_tx.send(Command::Shutdown);
@@ -138,6 +179,8 @@ impl<P> Drop for NodeHandle<P> {
 
 struct NodeLoop<P> {
     id: ProcessId,
+    keys: KeySet,
+    config: PcbConfig,
     process: PcbProcess<P>,
     store: MessageStore<P>,
     recovery: Option<RecoveryConfig>,
@@ -147,12 +190,31 @@ struct NodeLoop<P> {
     sync_requests: u64,
     recovered: u64,
     sync_in_flight: bool,
+    /// When the in-flight sync request went out; after
+    /// `RecoveryConfig::sync_timeout` it is presumed lost.
+    sync_sent_at_ms: u64,
     /// Timestamp of the last transport arrival, for quiescence probes.
     last_activity_ms: u64,
     /// Earliest time the next idle (non-pending-triggered) probe may go.
     next_idle_sync_ms: u64,
     /// Current idle-probe backoff; doubles on empty responses.
     idle_backoff_ms: u64,
+    /// Fault injection: while crashed the loop drops everything except
+    /// status queries, recover, and shutdown.
+    crashed: bool,
+    /// The last durable snapshot ("disk"): what a restart resumes from.
+    stable: Option<ProcessSnapshot<P>>,
+    /// Own-send WAL: the highest sequence number durably recorded before
+    /// each broadcast hit the wire. Replayed on restore so a recovered
+    /// sender never re-issues a used stamp height.
+    durable_seq: u64,
+    /// When the next periodic snapshot is due.
+    next_snapshot_ms: u64,
+    sync_served: u64,
+    refetched: u64,
+    snapshots_taken: u64,
+    snapshot_restores: u64,
+    backoff_resets: u64,
 }
 
 impl<P: Send + Clone + 'static> NodeLoop<P> {
@@ -186,11 +248,18 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
     /// settled cluster is not spammed.
     fn maybe_request_sync(&mut self) {
         let Some(recovery) = self.recovery else { return };
-        if self.sync_in_flight {
-            return;
-        }
         let stale_ms = recovery.stale_after.as_millis() as u64;
         let now = self.now_ms();
+        if self.sync_in_flight {
+            // A response can be lost outright — the serving peer crashed,
+            // or a partition cut the reply. Presume it lost after a
+            // timeout instead of waiting forever.
+            let timeout = recovery.sync_timeout.as_millis() as u64;
+            if now.saturating_sub(self.sync_sent_at_ms) < timeout.max(1) {
+                return;
+            }
+            self.sync_in_flight = false;
+        }
         let pending_stale = self.process.oldest_pending_age(now).is_some_and(|age| age >= stale_ms);
         let idle_probe =
             now.saturating_sub(self.last_activity_ms) >= stale_ms && now >= self.next_idle_sync_ms;
@@ -199,6 +268,7 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
             if self.router_tx.send(RouterMsg::SyncRequest { from: self.id, known }).is_ok() {
                 self.sync_requests += 1;
                 self.sync_in_flight = true;
+                self.sync_sent_at_ms = now;
             }
         }
     }
@@ -209,7 +279,50 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
         if let Some(recovery) = self.recovery {
             self.idle_backoff_ms = recovery.stale_after.as_millis() as u64;
             self.next_idle_sync_ms = 0;
+            self.backoff_resets += 1;
         }
+    }
+
+    /// Takes a periodic durable snapshot of the process + retained store.
+    fn maybe_snapshot(&mut self) {
+        let Some(recovery) = self.recovery else { return };
+        let now = self.now_ms();
+        if now < self.next_snapshot_ms {
+            return;
+        }
+        self.stable = Some(self.process.snapshot(&self.store));
+        self.snapshots_taken += 1;
+        self.next_snapshot_ms = now + (recovery.snapshot_every.as_millis() as u64).max(1);
+    }
+
+    /// Crash: all volatile state is gone. The durable snapshot slot and
+    /// the own-send WAL survive — they are "disk".
+    fn crash(&mut self) {
+        self.crashed = true;
+        self.sync_in_flight = false;
+    }
+
+    /// Restart from the last durable snapshot (or from scratch if none
+    /// was ever taken), replay the own-send WAL so no stamp height is
+    /// re-issued, and probe peers immediately to catch up.
+    fn recover(&mut self) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        if let Some(snapshot) = self.stable.clone() {
+            let (process, store) = PcbProcess::restore(snapshot);
+            self.process = process;
+            self.store = store;
+            self.snapshot_restores += 1;
+        } else {
+            self.process = PcbProcess::with_config(self.id, self.keys.clone(), self.config.clone());
+            self.store = MessageStore::new(self.store.window());
+        }
+        let _ = self.process.replay_own_sends(self.durable_seq);
+        self.last_activity_ms = 0;
+        self.reset_idle_backoff();
+        self.maybe_request_sync();
     }
 
     fn run(mut self, cmd_rx: &Receiver<Command<P>>) {
@@ -218,13 +331,28 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
             let cmd = match cmd_rx.recv_timeout(idle) {
                 Ok(cmd) => cmd,
                 Err(RecvTimeoutError::Timeout) => {
-                    self.maybe_request_sync();
+                    if !self.crashed {
+                        self.maybe_snapshot();
+                        self.maybe_request_sync();
+                    }
                     continue;
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
             };
+            // A crashed node is deaf: everything except status queries,
+            // recovery, and shutdown is dropped on the floor.
+            if self.crashed {
+                match cmd {
+                    Command::Query(reply) => self.answer_query(&reply),
+                    Command::Recover => self.recover(),
+                    Command::Shutdown => break,
+                    _ => {}
+                }
+                continue;
+            }
             // Staleness is checked on every loop turn: a busy inbox (e.g.
             // frequent status queries) must not suppress recovery.
+            self.maybe_snapshot();
             self.maybe_request_sync();
             match cmd {
                 Command::Incoming(message) => {
@@ -234,6 +362,10 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
                     self.maybe_request_sync();
                 }
                 Command::Broadcast(payload) => {
+                    // WAL first: the sequence number is durable before the
+                    // message hits the wire, so a crash between the two
+                    // can only lose the payload, never reuse the stamp.
+                    self.durable_seq += 1;
                     let message = self.process.broadcast(payload);
                     let now = self.now_ms();
                     self.store.insert(now, message.clone());
@@ -244,14 +376,18 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
                 }
                 Command::SyncRequest { from, known } => {
                     let response = self.store.handle_sync(&SyncRequest::new(known));
+                    self.sync_served += 1;
                     // Always reply — an empty response tells the requester
                     // this peer had nothing, so it can ask another.
-                    let _ = self
-                        .router_tx
-                        .send(RouterMsg::SyncResponse { to: from, messages: response.messages });
+                    let _ = self.router_tx.send(RouterMsg::SyncResponse {
+                        from: self.id,
+                        to: from,
+                        messages: response.messages,
+                    });
                 }
                 Command::SyncResponse(messages) => {
                     self.sync_in_flight = false;
+                    self.refetched += messages.len() as u64;
                     let mut delivered_any = false;
                     for m in messages {
                         delivered_any |= self.accept(m, true);
@@ -271,19 +407,29 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
                     // Still stuck (the peer lacked it too)? Ask again.
                     self.maybe_request_sync();
                 }
-                Command::Query(reply) => {
-                    let _ = reply.send(NodeStatus {
-                        stats: self.process.stats(),
-                        pending: self.process.pending_len(),
-                        clock: self.process.clock().vector().clone(),
-                        sync_requests: self.sync_requests,
-                        recovered: self.recovered,
-                        wakeup: self.process.wakeup_stats(),
-                    });
-                }
+                Command::Query(reply) => self.answer_query(&reply),
+                Command::Crash => self.crash(),
+                Command::Recover => {} // not crashed: nothing to do
                 Command::Shutdown => break,
             }
         }
+    }
+
+    fn answer_query(&self, reply: &Sender<NodeStatus>) {
+        let _ = reply.send(NodeStatus {
+            stats: self.process.stats(),
+            pending: self.process.pending_len(),
+            clock: self.process.clock().vector().clone(),
+            sync_requests: self.sync_requests,
+            recovered: self.recovered,
+            sync_served: self.sync_served,
+            refetched: self.refetched,
+            snapshots_taken: self.snapshots_taken,
+            snapshot_restores: self.snapshot_restores,
+            backoff_resets: self.backoff_resets,
+            crashed: self.crashed,
+            wakeup: self.process.wakeup_stats(),
+        });
     }
 }
 
@@ -307,6 +453,8 @@ pub(crate) fn spawn_node<P: Send + Clone + 'static>(
         .spawn(move || {
             let node = NodeLoop {
                 id,
+                keys: keys.clone(),
+                config: config.clone(),
                 process: PcbProcess::with_config(id, keys, config),
                 store: MessageStore::new(store_window),
                 recovery,
@@ -316,9 +464,20 @@ pub(crate) fn spawn_node<P: Send + Clone + 'static>(
                 sync_requests: 0,
                 recovered: 0,
                 sync_in_flight: false,
+                sync_sent_at_ms: 0,
                 last_activity_ms: 0,
                 next_idle_sync_ms: 0,
                 idle_backoff_ms: recovery.map_or(0, |r| r.stale_after.as_millis() as u64),
+                crashed: false,
+                stable: None,
+                durable_seq: 0,
+                next_snapshot_ms: recovery
+                    .map_or(u64::MAX, |r| (r.snapshot_every.as_millis() as u64).max(1)),
+                sync_served: 0,
+                refetched: 0,
+                snapshots_taken: 0,
+                snapshot_restores: 0,
+                backoff_resets: 0,
             };
             node.run(&cmd_rx);
         })

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use pcb_broadcast::{Message, MessageId};
 use pcb_clock::ProcessId;
+use pcb_sim::LinkFaults;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -115,13 +116,43 @@ pub(crate) enum RouterMsg<P> {
     },
     /// Anti-entropy: deliver these missing messages to `to`.
     SyncResponse {
+        /// The peer serving the response (partition rules apply to it).
+        from: ProcessId,
         /// The original requester.
         to: ProcessId,
         /// The messages it was missing.
         messages: Vec<Message<P>>,
     },
+    /// Fault controller: split the network. Nodes in different groups can
+    /// no longer exchange anything — broadcasts *or* anti-entropy sync.
+    /// Nodes not listed in any group form one implicit extra group.
+    SetPartition {
+        /// Disjoint groups of node indices that can still talk internally.
+        groups: Vec<Vec<usize>>,
+    },
+    /// Fault controller: the partition heals; all links work again.
+    Heal,
+    /// Fault controller: open (`Some`) or close (`None`) a window of
+    /// link-level misbehaviour on every broadcast link. Corrupted frames
+    /// would be rejected by the wire checksum on a real network, so the
+    /// in-memory transport treats corruption as loss.
+    SetLinkFaults(Option<LinkFaults>),
     /// Stop the router (in-flight messages are dropped).
     Shutdown,
+}
+
+/// Group id per node under the active partition; ungrouped nodes share
+/// one implicit extra group.
+fn group_map(groups: &[Vec<usize>], n: usize) -> Vec<usize> {
+    let mut map = vec![groups.len(); n];
+    for (g, members) in groups.iter().enumerate() {
+        for &m in members {
+            if m < n {
+                map[m] = g;
+            }
+        }
+    }
+    map
 }
 
 struct Scheduled<P> {
@@ -166,6 +197,12 @@ pub(crate) fn spawn_router<P: Clone + Send + 'static>(
             let mut heap: BinaryHeap<Scheduled<P>> = BinaryHeap::new();
             let mut seq = 0u64;
             let mut sync_rotation = 0usize;
+            // Chaos state, driven by the fault-controller messages.
+            let mut partition: Option<Vec<usize>> = None;
+            let mut link: Option<LinkFaults> = None;
+            let severed = |partition: &Option<Vec<usize>>, a: usize, b: usize| {
+                partition.as_ref().is_some_and(|map| map[a] != map[b])
+            };
             loop {
                 // Flush everything due.
                 let now = Instant::now();
@@ -191,12 +228,42 @@ pub(crate) fn spawn_router<P: Clone + Send + 'static>(
                             if target == from.index() {
                                 continue;
                             }
+                            if severed(&partition, from.index(), target) {
+                                continue; // partitioned away
+                            }
                             if latency.loss_probability > 0.0
                                 && rng.random::<f64>() < latency.loss_probability
                             {
                                 continue; // dropped on the wire
                             }
-                            let delay = latency.sample_skewed(&mut rng, base);
+                            let mut delay = latency.sample_skewed(&mut rng, base);
+                            if let Some(faults) = link {
+                                // Corruption is detected by the wire
+                                // checksum and discarded, so it degrades
+                                // to loss on this in-memory transport.
+                                if rng.random::<f64>() < faults.drop
+                                    || rng.random::<f64>() < faults.corrupt
+                                {
+                                    continue;
+                                }
+                                if rng.random::<f64>() < faults.reorder {
+                                    delay += Duration::from_secs_f64(
+                                        faults.reorder_extra_ms.max(0.0) / 1000.0,
+                                    );
+                                }
+                                if rng.random::<f64>() < faults.dup {
+                                    let extra = Duration::from_secs_f64(
+                                        faults.reorder_extra_ms.max(1.0) / 1000.0,
+                                    );
+                                    seq += 1;
+                                    heap.push(Scheduled {
+                                        due: now + delay + extra,
+                                        seq,
+                                        target,
+                                        command: Command::Incoming(message.clone()),
+                                    });
+                                }
+                            }
                             seq += 1;
                             heap.push(Scheduled {
                                 due: now + delay,
@@ -211,13 +278,16 @@ pub(crate) fn spawn_router<P: Clone + Send + 'static>(
                         // (e.g. TCP). Targets rotate so a retrying
                         // requester reaches every peer within n-1 rounds
                         // — a random pick can starve the one peer that
-                        // still holds a trailing loss.
-                        if inboxes.len() > 1 {
+                        // still holds a trailing loss. Under a partition
+                        // only same-group peers are reachable; with none,
+                        // the request is dropped and the requester's
+                        // in-flight timeout re-arms it.
+                        let reachable: Vec<usize> = (0..inboxes.len())
+                            .filter(|&t| t != from.index() && !severed(&partition, from.index(), t))
+                            .collect();
+                        if !reachable.is_empty() {
                             sync_rotation += 1;
-                            let mut target = sync_rotation % (inboxes.len() - 1);
-                            if target >= from.index() {
-                                target += 1;
-                            }
+                            let target = reachable[sync_rotation % reachable.len()];
                             let delay = latency.sample_base(&mut rng);
                             seq += 1;
                             heap.push(Scheduled {
@@ -228,16 +298,26 @@ pub(crate) fn spawn_router<P: Clone + Send + 'static>(
                             });
                         }
                     }
-                    Some(RouterMsg::SyncResponse { to, messages }) => {
-                        let delay = latency.sample_base(&mut rng);
-                        seq += 1;
-                        heap.push(Scheduled {
-                            due: now + delay,
-                            seq,
-                            target: to.index(),
-                            command: Command::SyncResponse(messages),
-                        });
+                    Some(RouterMsg::SyncResponse { from, to, messages }) => {
+                        // A response crossing a partition boundary (the
+                        // split landed between request and reply) is lost;
+                        // the requester's timeout recovers.
+                        if !severed(&partition, from.index(), to.index()) {
+                            let delay = latency.sample_base(&mut rng);
+                            seq += 1;
+                            heap.push(Scheduled {
+                                due: now + delay,
+                                seq,
+                                target: to.index(),
+                                command: Command::SyncResponse(messages),
+                            });
+                        }
                     }
+                    Some(RouterMsg::SetPartition { groups }) => {
+                        partition = Some(group_map(&groups, inboxes.len()));
+                    }
+                    Some(RouterMsg::Heal) => partition = None,
+                    Some(RouterMsg::SetLinkFaults(faults)) => link = faults,
                     Some(RouterMsg::Shutdown) | None => break,
                 }
             }

@@ -2,6 +2,8 @@
 
 use pcb_clock::AssignmentPolicy;
 
+use crate::fault::FaultPlan;
+
 /// How broadcasts reach the other processes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dissemination {
@@ -115,6 +117,10 @@ pub struct SimConfig {
     pub loss: Option<LossModel>,
     /// Membership churn; `None` = static membership (the paper's §5.4).
     pub churn: Option<ChurnModel>,
+    /// Deterministic fault schedule (crashes, partitions, link faults);
+    /// `None` = the fault-free model. Chaos runs require
+    /// [`Self::track_exact`], [`Dissemination::Direct`], and no churn.
+    pub faults: Option<FaultPlan>,
     /// Run the exact ground-truth checker (primary error metric).
     pub track_exact: bool,
     /// Run the paper's ε_min/ε_max estimator alongside.
@@ -138,6 +144,7 @@ impl Default for SimConfig {
             dissemination: Dissemination::Direct,
             loss: None,
             churn: None,
+            faults: None,
             track_exact: true,
             track_epsilon: true,
         }
@@ -246,6 +253,20 @@ impl SimConfig {
                              uses the oracle to reconcile the snapshot)"
                     .into());
             }
+        }
+        if let Some(plan) = &self.faults {
+            if self.dissemination != Dissemination::Direct {
+                return Err("fault plans require direct dissemination".into());
+            }
+            if self.churn.is_some() {
+                return Err("fault plans and churn cannot be combined".into());
+            }
+            if !self.track_exact {
+                return Err("fault plans require track_exact (the safety oracle \
+                             certifies exactly-once delivery and convergence)"
+                    .into());
+            }
+            plan.validate(self.n, self.duration_ms).map_err(|e| format!("fault plan: {e}"))?;
         }
         Ok(())
     }

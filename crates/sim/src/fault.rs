@@ -1,0 +1,530 @@
+//! Deterministic fault plans for chaos runs.
+//!
+//! A [`FaultPlan`] is a seedable, serializable schedule of fault events —
+//! crashes, recoveries, network partitions, and link-level misbehaviour
+//! (burst loss, duplication, reordering, corruption). The simulation
+//! engine interprets the plan inside its event loop; the live runtime
+//! replays the same plan through a fault-controller thread driving the
+//! transport router. Because plans serialize to a small text format and
+//! generate deterministically from a seed, any failing chaos run can be
+//! replayed bit-identically from its seed alone (`scripts/replay.sh`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::{derive_seed, SimRng};
+
+/// Link-level fault rates, applied per transmission while a
+/// [`FaultKind::LinkFaultStart`] window is open. All probabilities are
+/// independent per frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Probability a frame is dropped outright (burst loss).
+    pub drop: f64,
+    /// Probability a frame is duplicated (the copy arrives later; the
+    /// receiver's dedup layer must suppress it).
+    pub dup: f64,
+    /// Probability a frame is delayed by [`Self::reorder_extra_ms`],
+    /// overtaking later traffic.
+    pub reorder: f64,
+    /// Extra delay applied to reordered (and duplicated) frames, ms.
+    pub reorder_extra_ms: f64,
+    /// Probability a frame is corrupted in flight. The wire checksum
+    /// detects this and the frame is discarded, so corruption behaves
+    /// like loss — but it exercises the decode-hardening path.
+    pub corrupt: f64,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        Self { drop: 0.0, dup: 0.0, reorder: 0.0, reorder_extra_ms: 50.0, corrupt: 0.0 }
+    }
+}
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The node halts: it loses its in-memory state (pending queue,
+    /// anything past its last snapshot) and stops receiving.
+    Crash {
+        /// Index of the crashing node.
+        node: usize,
+    },
+    /// The node restarts from its last durable snapshot and catches up
+    /// through anti-entropy.
+    Recover {
+        /// Index of the recovering node.
+        node: usize,
+    },
+    /// The network splits: traffic crosses group boundaries no more
+    /// (including anti-entropy sync). Nodes not listed in any group form
+    /// one implicit extra group.
+    PartitionStart {
+        /// Disjoint groups of node indices that can still talk internally.
+        groups: Vec<Vec<usize>>,
+    },
+    /// The partition heals; all links work again.
+    PartitionEnd,
+    /// A window of link-level misbehaviour opens on every link.
+    LinkFaultStart {
+        /// The rates in force until the matching [`FaultKind::LinkFaultEnd`].
+        faults: LinkFaults,
+    },
+    /// The link-fault window closes.
+    LinkFaultEnd,
+}
+
+/// A fault at a point in virtual (sim) or wall-clock (runtime) time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault fires, in milliseconds from run start.
+    pub at_ms: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A full, deterministic schedule of faults for one chaos run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The fault events, sorted by [`FaultEvent::at_ms`].
+    pub events: Vec<FaultEvent>,
+    /// Period of the durable snapshots every node takes (ms). A
+    /// recovering node resumes from its last snapshot, so this bounds how
+    /// much state a crash can lose.
+    pub snapshot_every_ms: f64,
+    /// Period of each node's anti-entropy sync probe (ms). Convergence
+    /// after a partition heals takes a bounded number of these rounds.
+    pub sync_interval_ms: f64,
+}
+
+/// A parse failure in [`FaultPlan::from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FaultPlan {
+    /// An empty plan with the given snapshot and sync periods.
+    #[must_use]
+    pub fn new(snapshot_every_ms: f64, sync_interval_ms: f64) -> Self {
+        Self { events: Vec::new(), snapshot_every_ms, sync_interval_ms }
+    }
+
+    /// Appends an event (builder style). Events must be appended in
+    /// non-decreasing `at_ms` order; [`Self::validate`] enforces it.
+    #[must_use]
+    pub fn with_event(mut self, at_ms: f64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at_ms, kind });
+        self
+    }
+
+    /// Splits `0..n` into `ways` contiguous groups — a convenient
+    /// partition shape for tests and generated plans.
+    #[must_use]
+    pub fn split_groups(n: usize, ways: usize) -> Vec<Vec<usize>> {
+        let ways = ways.clamp(1, n.max(1));
+        (0..ways)
+            .map(|g| (n * g / ways..n * (g + 1) / ways).collect())
+            .filter(|v: &Vec<usize>| !v.is_empty())
+            .collect()
+    }
+
+    /// Generates a deterministic random plan from `seed`: one
+    /// crash/recover pair, one multi-way partition window, and one
+    /// link-fault window, all inside `[start_ms, end_ms)`. Same seed,
+    /// same plan — this is the contract `scripts/replay.sh` relies on.
+    #[must_use]
+    pub fn random(seed: u64, n: usize, start_ms: f64, end_ms: f64) -> Self {
+        let mut rng = SimRng::new(derive_seed(seed, 0xFA17));
+        let span = (end_ms - start_ms).max(1.0);
+        let cap = |t: f64| t.min(end_ms - span * 0.02);
+        let mut events = Vec::new();
+
+        // A link-fault window early on, so loss/dup/reorder stress the
+        // steady state before the structural faults hit.
+        let lf_start = start_ms + span * (0.02 + 0.08 * rng.uniform_open());
+        let lf_end = cap(lf_start + span * (0.2 + 0.2 * rng.uniform_open()));
+        let faults = LinkFaults {
+            drop: 0.05 + 0.10 * rng.uniform_open(),
+            dup: 0.05 + 0.10 * rng.uniform_open(),
+            reorder: 0.05 + 0.10 * rng.uniform_open(),
+            reorder_extra_ms: 30.0 + 50.0 * rng.uniform_open(),
+            corrupt: 0.02 + 0.05 * rng.uniform_open(),
+        };
+        events.push(FaultEvent { at_ms: lf_start, kind: FaultKind::LinkFaultStart { faults } });
+        events.push(FaultEvent { at_ms: lf_end, kind: FaultKind::LinkFaultEnd });
+
+        // One crash/recover pair.
+        let node = rng.index(n);
+        let t_crash = start_ms + span * (0.15 + 0.15 * rng.uniform_open());
+        let t_recover = cap(t_crash + span * (0.15 + 0.15 * rng.uniform_open()));
+        events.push(FaultEvent { at_ms: t_crash, kind: FaultKind::Crash { node } });
+        events.push(FaultEvent { at_ms: t_recover, kind: FaultKind::Recover { node } });
+
+        // One partition window (3-way when the cluster is big enough).
+        let ways = if n >= 6 { 3 } else { 2 };
+        let t_split = start_ms + span * (0.45 + 0.1 * rng.uniform_open());
+        let t_heal = cap(t_split + span * (0.15 + 0.15 * rng.uniform_open()));
+        let groups = Self::split_groups(n, ways);
+        events.push(FaultEvent { at_ms: t_split, kind: FaultKind::PartitionStart { groups } });
+        events.push(FaultEvent { at_ms: t_heal, kind: FaultKind::PartitionEnd });
+
+        events.sort_by(|a, b| a.at_ms.partial_cmp(&b.at_ms).expect("finite times"));
+        Self { events, snapshot_every_ms: 250.0, sync_interval_ms: 200.0 }
+    }
+
+    /// Checks the plan is well-formed for an `n`-node run of
+    /// `duration_ms`: events sorted and in range, crash/recover and
+    /// partition/heal properly paired, at least two nodes alive at all
+    /// times, partition groups disjoint, rates in `[0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn validate(&self, n: usize, duration_ms: f64) -> Result<(), String> {
+        let bad = |v: f64| v.is_nan() || v <= 0.0;
+        if bad(self.snapshot_every_ms) {
+            return Err("snapshot_every_ms must be positive".into());
+        }
+        if bad(self.sync_interval_ms) {
+            return Err("sync_interval_ms must be positive".into());
+        }
+        let mut crashed = vec![false; n];
+        let mut down = 0usize;
+        let mut partitioned = false;
+        let mut link_faulted = false;
+        let mut prev = 0.0f64;
+        for ev in &self.events {
+            if ev.at_ms.is_nan() || ev.at_ms < 0.0 || ev.at_ms >= duration_ms {
+                return Err(format!("event time {} outside [0, {duration_ms})", ev.at_ms));
+            }
+            if ev.at_ms < prev {
+                return Err("events must be sorted by at_ms".into());
+            }
+            prev = ev.at_ms;
+            match &ev.kind {
+                FaultKind::Crash { node } => {
+                    if *node >= n {
+                        return Err(format!("crash of node {node} in an {n}-node run"));
+                    }
+                    if crashed[*node] {
+                        return Err(format!("node {node} crashed twice without recovering"));
+                    }
+                    crashed[*node] = true;
+                    down += 1;
+                    if n - down < 2 {
+                        return Err("a crash may not leave fewer than 2 nodes alive".into());
+                    }
+                }
+                FaultKind::Recover { node } => {
+                    if *node >= n || !crashed[*node] {
+                        return Err(format!("recover of node {node} which is not crashed"));
+                    }
+                    crashed[*node] = false;
+                    down -= 1;
+                }
+                FaultKind::PartitionStart { groups } => {
+                    if partitioned {
+                        return Err("nested partitions are not supported".into());
+                    }
+                    partitioned = true;
+                    if groups.len() < 2 {
+                        return Err("a partition needs at least 2 groups".into());
+                    }
+                    let mut seen = vec![false; n];
+                    for g in groups {
+                        if g.is_empty() {
+                            return Err("partition groups must be non-empty".into());
+                        }
+                        for &m in g {
+                            if m >= n {
+                                return Err(format!("partition member {m} out of range"));
+                            }
+                            if seen[m] {
+                                return Err(format!("node {m} appears in two partition groups"));
+                            }
+                            seen[m] = true;
+                        }
+                    }
+                }
+                FaultKind::PartitionEnd => {
+                    if !partitioned {
+                        return Err("partition heal without an open partition".into());
+                    }
+                    partitioned = false;
+                }
+                FaultKind::LinkFaultStart { faults } => {
+                    if link_faulted {
+                        return Err("nested link-fault windows are not supported".into());
+                    }
+                    link_faulted = true;
+                    let rate_ok = |r: f64| (0.0..1.0).contains(&r);
+                    if !rate_ok(faults.drop)
+                        || !rate_ok(faults.dup)
+                        || !rate_ok(faults.reorder)
+                        || !rate_ok(faults.corrupt)
+                    {
+                        return Err("link-fault rates must be in [0, 1)".into());
+                    }
+                    if faults.reorder_extra_ms.is_nan() || faults.reorder_extra_ms < 0.0 {
+                        return Err("reorder_extra_ms must be non-negative".into());
+                    }
+                }
+                FaultKind::LinkFaultEnd => {
+                    if !link_faulted {
+                        return Err("link-fault end without an open window".into());
+                    }
+                    link_faulted = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the plan in the line-oriented text format
+    /// [`Self::from_text`] parses — the interchange format logged by the
+    /// chaos soak and consumed by `scripts/replay.sh`.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("faultplan v1\n");
+        let _ = writeln!(out, "snapshot_every_ms {}", self.snapshot_every_ms);
+        let _ = writeln!(out, "sync_interval_ms {}", self.sync_interval_ms);
+        for ev in &self.events {
+            match &ev.kind {
+                FaultKind::Crash { node } => {
+                    let _ = writeln!(out, "crash {node} @ {}", ev.at_ms);
+                }
+                FaultKind::Recover { node } => {
+                    let _ = writeln!(out, "recover {node} @ {}", ev.at_ms);
+                }
+                FaultKind::PartitionStart { groups } => {
+                    let rendered: Vec<String> = groups
+                        .iter()
+                        .map(|g| g.iter().map(ToString::to_string).collect::<Vec<_>>().join(","))
+                        .collect();
+                    let _ = writeln!(out, "partition {} @ {}", rendered.join("|"), ev.at_ms);
+                }
+                FaultKind::PartitionEnd => {
+                    let _ = writeln!(out, "heal @ {}", ev.at_ms);
+                }
+                FaultKind::LinkFaultStart { faults } => {
+                    let _ = writeln!(
+                        out,
+                        "linkfault drop={} dup={} reorder={} reorder_ms={} corrupt={} @ {}",
+                        faults.drop,
+                        faults.dup,
+                        faults.reorder,
+                        faults.reorder_extra_ms,
+                        faults.corrupt,
+                        ev.at_ms
+                    );
+                }
+                FaultKind::LinkFaultEnd => {
+                    let _ = writeln!(out, "linkclear @ {}", ev.at_ms);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Self::to_text`]. Blank lines
+    /// and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanParseError`] pointing at the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, PlanParseError> {
+        let err = |line: usize, reason: &str| PlanParseError { line, reason: reason.into() };
+        let parse_f64 = |line: usize, s: &str| {
+            s.parse::<f64>().map_err(|_| err(line, &format!("bad number {s:?}")))
+        };
+        let parse_usize = |line: usize, s: &str| {
+            s.parse::<usize>().map_err(|_| err(line, &format!("bad node index {s:?}")))
+        };
+        let mut plan = Self::new(0.0, 0.0);
+        let mut saw_header = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if !saw_header {
+                if line != "faultplan v1" {
+                    return Err(err(lineno, "expected header `faultplan v1`"));
+                }
+                saw_header = true;
+                continue;
+            }
+            // `<verb> [args] @ <time>` or a `<key> <value>` parameter.
+            let (head, at_ms) = match line.rsplit_once('@') {
+                Some((head, t)) => (head.trim(), Some(parse_f64(lineno, t.trim())?)),
+                None => (line, None),
+            };
+            let mut words = head.split_whitespace();
+            let verb = words.next().ok_or_else(|| err(lineno, "empty statement"))?;
+            match (verb, at_ms) {
+                ("snapshot_every_ms", None) => {
+                    let v = words.next().ok_or_else(|| err(lineno, "missing value"))?;
+                    plan.snapshot_every_ms = parse_f64(lineno, v)?;
+                }
+                ("sync_interval_ms", None) => {
+                    let v = words.next().ok_or_else(|| err(lineno, "missing value"))?;
+                    plan.sync_interval_ms = parse_f64(lineno, v)?;
+                }
+                ("crash", Some(at)) => {
+                    let node = words.next().ok_or_else(|| err(lineno, "crash needs a node"))?;
+                    let kind = FaultKind::Crash { node: parse_usize(lineno, node)? };
+                    plan.events.push(FaultEvent { at_ms: at, kind });
+                }
+                ("recover", Some(at)) => {
+                    let node = words.next().ok_or_else(|| err(lineno, "recover needs a node"))?;
+                    let kind = FaultKind::Recover { node: parse_usize(lineno, node)? };
+                    plan.events.push(FaultEvent { at_ms: at, kind });
+                }
+                ("partition", Some(at)) => {
+                    let spec = words.next().ok_or_else(|| err(lineno, "partition needs groups"))?;
+                    let mut groups = Vec::new();
+                    for group in spec.split('|') {
+                        let members: Result<Vec<usize>, PlanParseError> =
+                            group.split(',').map(|m| parse_usize(lineno, m.trim())).collect();
+                        groups.push(members?);
+                    }
+                    plan.events
+                        .push(FaultEvent { at_ms: at, kind: FaultKind::PartitionStart { groups } });
+                }
+                ("heal", Some(at)) => {
+                    plan.events.push(FaultEvent { at_ms: at, kind: FaultKind::PartitionEnd });
+                }
+                ("linkfault", Some(at)) => {
+                    let mut faults = LinkFaults::default();
+                    for pair in words {
+                        let (key, value) = pair.split_once('=').ok_or_else(|| {
+                            err(lineno, &format!("expected key=value, got {pair:?}"))
+                        })?;
+                        let v = parse_f64(lineno, value)?;
+                        match key {
+                            "drop" => faults.drop = v,
+                            "dup" => faults.dup = v,
+                            "reorder" => faults.reorder = v,
+                            "reorder_ms" => faults.reorder_extra_ms = v,
+                            "corrupt" => faults.corrupt = v,
+                            _ => return Err(err(lineno, &format!("unknown rate {key:?}"))),
+                        }
+                    }
+                    plan.events
+                        .push(FaultEvent { at_ms: at, kind: FaultKind::LinkFaultStart { faults } });
+                }
+                ("linkclear", Some(at)) => {
+                    plan.events.push(FaultEvent { at_ms: at, kind: FaultKind::LinkFaultEnd });
+                }
+                _ => return Err(err(lineno, &format!("unknown statement {verb:?}"))),
+            }
+        }
+        if !saw_header {
+            return Err(err(1, "empty plan: expected header `faultplan v1`"));
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultPlan {
+        FaultPlan::new(250.0, 200.0)
+            .with_event(
+                500.0,
+                FaultKind::LinkFaultStart {
+                    faults: LinkFaults { drop: 0.1, dup: 0.05, ..LinkFaults::default() },
+                },
+            )
+            .with_event(900.0, FaultKind::LinkFaultEnd)
+            .with_event(1000.0, FaultKind::Crash { node: 3 })
+            .with_event(
+                2000.0,
+                FaultKind::PartitionStart {
+                    groups: vec![vec![0, 1, 2], vec![4, 5], vec![6, 7, 8]],
+                },
+            )
+            .with_event(2500.0, FaultKind::Recover { node: 3 })
+            .with_event(3000.0, FaultKind::PartitionEnd)
+    }
+
+    #[test]
+    fn text_roundtrip_is_identity() {
+        let plan = sample();
+        let text = plan.to_text();
+        let back = FaultPlan::from_text(&text).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_valid() {
+        for seed in [1u64, 2, 0xC0FFEE] {
+            let a = FaultPlan::random(seed, 9, 500.0, 8000.0);
+            let b = FaultPlan::random(seed, 9, 500.0, 8000.0);
+            assert_eq!(a, b, "seed {seed} must reproduce the plan");
+            a.validate(9, 8000.0).unwrap();
+            let rt = FaultPlan::from_text(&a.to_text()).unwrap();
+            assert_eq!(a, rt, "seed {seed} plan must survive the text codec");
+        }
+        assert_ne!(FaultPlan::random(1, 9, 500.0, 8000.0), FaultPlan::random(2, 9, 500.0, 8000.0));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_plans() {
+        let ok = sample();
+        assert!(ok.validate(9, 5000.0).is_ok());
+        assert!(ok.validate(4, 5000.0).is_err(), "partition member out of range");
+        assert!(ok.validate(9, 2000.0).is_err(), "event past duration");
+        let double_crash = FaultPlan::new(100.0, 100.0)
+            .with_event(1.0, FaultKind::Crash { node: 0 })
+            .with_event(2.0, FaultKind::Crash { node: 0 });
+        assert!(double_crash.validate(4, 10.0).is_err());
+        let too_many_down = FaultPlan::new(100.0, 100.0)
+            .with_event(1.0, FaultKind::Crash { node: 0 })
+            .with_event(2.0, FaultKind::Crash { node: 1 });
+        assert!(too_many_down.validate(3, 10.0).is_err());
+        let unsorted = FaultPlan::new(100.0, 100.0)
+            .with_event(5.0, FaultKind::Crash { node: 0 })
+            .with_event(1.0, FaultKind::Recover { node: 0 });
+        assert!(unsorted.validate(4, 10.0).is_err());
+        let overlap = FaultPlan::new(100.0, 100.0)
+            .with_event(1.0, FaultKind::PartitionStart { groups: vec![vec![0, 1], vec![1, 2]] });
+        assert!(overlap.validate(4, 10.0).is_err());
+        let stray_heal = FaultPlan::new(100.0, 100.0).with_event(1.0, FaultKind::PartitionEnd);
+        assert!(stray_heal.validate(4, 10.0).is_err());
+    }
+
+    #[test]
+    fn split_groups_covers_everyone_disjointly() {
+        let groups = FaultPlan::split_groups(9, 3);
+        assert_eq!(groups.len(), 3);
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>());
+        assert_eq!(FaultPlan::split_groups(5, 2).concat().len(), 5);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = FaultPlan::from_text("faultplan v1\ncrash x @ 5").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(FaultPlan::from_text("").is_err());
+        assert!(FaultPlan::from_text("not a plan").is_err());
+    }
+}

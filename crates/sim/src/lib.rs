@@ -30,6 +30,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod oracle;
 pub mod report;
@@ -42,10 +43,12 @@ pub use engine::{
     simulate, simulate_fifo, simulate_immediate, simulate_prob, simulate_prob_detecting,
     simulate_vector, SimError,
 };
+pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkFaults, PlanParseError};
 pub use metrics::RunMetrics;
-pub use oracle::{EpsilonEstimator, EpsilonOutcome, ExactChecker};
+pub use oracle::{EpsilonEstimator, EpsilonOutcome, ExactChecker, StreamOracle, StreamViolation};
 pub use report::{render_csv, render_table};
 pub use runner::{
-    epsilon_validation, figure3, figure3_defaults, figure4, figure4_defaults, figure5,
-    figure5_defaults, figure6, figure6_defaults, EpsilonValidation, SweepOptions, SweepPoint,
+    chaos_config, chaos_run, chaos_run_vector, epsilon_validation, figure3, figure3_defaults,
+    figure4, figure4_defaults, figure5, figure5_defaults, figure6, figure6_defaults, ChaosOutcome,
+    EpsilonValidation, SweepOptions, SweepPoint,
 };

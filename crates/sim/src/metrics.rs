@@ -52,6 +52,36 @@ pub struct RunMetrics {
     pub wake_gap_checks: u64,
     /// Waiters woken from wake channels by deliveries.
     pub wake_wakeups: u64,
+    /// Crash faults injected (chaos runs).
+    pub crashes: u64,
+    /// Recover faults executed (chaos runs).
+    pub recoveries: u64,
+    /// Recoveries that resumed from a durable snapshot.
+    pub snapshot_restores: u64,
+    /// Snapshot pulses taken across all nodes.
+    pub snapshots_taken: u64,
+    /// Anti-entropy sync probes issued.
+    pub sync_requests: u64,
+    /// Sync probes that reached a live, reachable peer and were served.
+    pub sync_served: u64,
+    /// Messages re-fetched through anti-entropy.
+    pub refetched: u64,
+    /// Frames dropped because sender and receiver were in different
+    /// partition groups at arrival time.
+    pub partition_dropped: u64,
+    /// Frames dropped by burst loss inside a link-fault window.
+    pub link_dropped: u64,
+    /// Frames discarded as corrupted (wire-checksum failures).
+    pub corrupted_frames: u64,
+    /// Duplicate frames suppressed by the receive-side dedup (injected
+    /// duplicates plus redundant anti-entropy re-fetches).
+    pub duplicate_frames: u64,
+    /// Measured causal violations that Algorithm 4 raised **no** alert
+    /// on — the safety oracle's "missed detection" count.
+    pub undetected_violations: u64,
+    /// Virtual time (ms) of the last anti-entropy re-fetch: bounded past
+    /// the last heal means the system quiesced instead of probe-storming.
+    pub last_refetch_ms: f64,
 }
 
 impl RunMetrics {
@@ -128,6 +158,21 @@ impl RunMetrics {
         self.leaves += other.leaves;
         self.wall_secs += other.wall_secs;
         self.virtual_ms = self.virtual_ms.max(other.virtual_ms);
+        self.wake_gap_checks += other.wake_gap_checks;
+        self.wake_wakeups += other.wake_wakeups;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.snapshot_restores += other.snapshot_restores;
+        self.snapshots_taken += other.snapshots_taken;
+        self.sync_requests += other.sync_requests;
+        self.sync_served += other.sync_served;
+        self.refetched += other.refetched;
+        self.partition_dropped += other.partition_dropped;
+        self.link_dropped += other.link_dropped;
+        self.corrupted_frames += other.corrupted_frames;
+        self.duplicate_frames += other.duplicate_frames;
+        self.undetected_violations += other.undetected_violations;
+        self.last_refetch_ms = self.last_refetch_ms.max(other.last_refetch_ms);
     }
 }
 

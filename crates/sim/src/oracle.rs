@@ -215,6 +215,224 @@ impl EpsilonEstimator {
     }
 }
 
+/// A safety violation detected by the [`StreamOracle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamViolation {
+    /// A receiver delivered its own broadcast back to itself.
+    OwnStream {
+        /// The offending receiver (== sender).
+        receiver: usize,
+        /// Sequence number of the self-delivered message.
+        seq: u64,
+    },
+    /// The same `(sender, seq)` delivered twice within one incarnation —
+    /// exactly-once is broken outright.
+    DuplicateInIncarnation {
+        /// Receiver that double-delivered.
+        receiver: usize,
+        /// Stream the duplicate belongs to.
+        sender: usize,
+        /// Duplicated sequence number.
+        seq: u64,
+    },
+    /// Per-stream sequence numbers regressed within one incarnation
+    /// (causal delivery implies FIFO per sender).
+    FifoRegression {
+        /// Receiver that regressed.
+        receiver: usize,
+        /// Stream that went backwards.
+        sender: usize,
+        /// The regressing sequence number.
+        seq: u64,
+        /// The highest sequence already delivered this incarnation.
+        last: u64,
+    },
+    /// A message re-delivered across incarnations at a node that never
+    /// crashed — only a restore-from-snapshot may legitimately roll the
+    /// delivered state back.
+    DuplicateWithoutCrash {
+        /// Receiver that duplicated.
+        receiver: usize,
+        /// Stream the duplicate belongs to.
+        sender: usize,
+        /// Duplicated sequence number.
+        seq: u64,
+    },
+    /// At certification time a surviving stream has gaps: messages were
+    /// lost for good despite anti-entropy.
+    LostMessages {
+        /// Receiver with the hole.
+        receiver: usize,
+        /// Stream with missing messages.
+        sender: usize,
+        /// How many of the stream's messages never arrived.
+        missing: u64,
+    },
+}
+
+impl std::fmt::Display for StreamViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OwnStream { receiver, seq } => {
+                write!(f, "node {receiver} delivered its own message #{seq} to itself")
+            }
+            Self::DuplicateInIncarnation { receiver, sender, seq } => {
+                write!(f, "node {receiver} delivered {sender}#{seq} twice in one incarnation")
+            }
+            Self::FifoRegression { receiver, sender, seq, last } => write!(
+                f,
+                "node {receiver} delivered {sender}#{seq} after {sender}#{last} (FIFO regression)"
+            ),
+            Self::DuplicateWithoutCrash { receiver, sender, seq } => {
+                write!(f, "node {receiver} re-delivered {sender}#{seq} without ever crashing")
+            }
+            Self::LostMessages { receiver, sender, missing } => {
+                write!(f, "node {receiver} is missing {missing} messages of stream {sender}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamViolation {}
+
+struct NodeLog {
+    /// Crash markers seen so far (a restore rolls delivered state back,
+    /// so duplicates across incarnations are legitimate — and only then).
+    crashes: u64,
+    /// Per-sender seqs delivered in the *current* incarnation.
+    current: Vec<std::collections::BTreeSet<u64>>,
+    /// Highest seq delivered per sender in the current incarnation.
+    last: Vec<u64>,
+    /// Per-sender seqs delivered across *all* incarnations.
+    all: Vec<std::collections::BTreeSet<u64>>,
+    /// Cross-incarnation re-deliveries (expected after a restore).
+    redelivered: u64,
+}
+
+/// Always-on safety oracle for **live** (wall-clock) chaos runs, where no
+/// global virtual time or true vector clock exists.
+///
+/// It certifies, per receiving node: exactly-once delivery within each
+/// incarnation, per-stream FIFO order within each incarnation (causal
+/// delivery implies it), re-deliveries only after a crash marker (the
+/// snapshot legitimately rolls the delivered state back), and — at
+/// [`Self::certify`] time — zero lost streams: every surviving stream is
+/// delivered gap-free. Deterministic causal certification under faults is
+/// the simulator oracle's job ([`ExactChecker`] with true vector clocks);
+/// this oracle checks what remains observable from outside a real
+/// deployment.
+pub struct StreamOracle {
+    nodes: Vec<NodeLog>,
+}
+
+impl StreamOracle {
+    /// An oracle for an `n`-node cluster.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            nodes: (0..n)
+                .map(|_| NodeLog {
+                    crashes: 0,
+                    current: vec![std::collections::BTreeSet::new(); n],
+                    last: vec![0; n],
+                    all: vec![std::collections::BTreeSet::new(); n],
+                    redelivered: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Marks a crash of `receiver`: its next deliveries belong to a new
+    /// incarnation, restored from a snapshot.
+    pub fn mark_crash(&mut self, receiver: usize) {
+        let node = &mut self.nodes[receiver];
+        node.crashes += 1;
+        for set in &mut node.current {
+            set.clear();
+        }
+        node.last.fill(0);
+    }
+
+    /// Records one delivery observed at `receiver`.
+    ///
+    /// # Errors
+    ///
+    /// The violated invariant, if any.
+    pub fn record_delivery(
+        &mut self,
+        receiver: usize,
+        sender: usize,
+        seq: u64,
+    ) -> Result<(), StreamViolation> {
+        if receiver == sender {
+            return Err(StreamViolation::OwnStream { receiver, seq });
+        }
+        let node = &mut self.nodes[receiver];
+        if node.current[sender].contains(&seq) {
+            return Err(StreamViolation::DuplicateInIncarnation { receiver, sender, seq });
+        }
+        if seq <= node.last[sender] {
+            return Err(StreamViolation::FifoRegression {
+                receiver,
+                sender,
+                seq,
+                last: node.last[sender],
+            });
+        }
+        if node.all[sender].contains(&seq) {
+            if node.crashes == 0 {
+                return Err(StreamViolation::DuplicateWithoutCrash { receiver, sender, seq });
+            }
+            node.redelivered += 1;
+        }
+        node.current[sender].insert(seq);
+        node.last[sender] = seq;
+        node.all[sender].insert(seq);
+        Ok(())
+    }
+
+    /// Cross-incarnation re-deliveries seen at `receiver` (should be
+    /// non-zero after a real crash-restore-catchup, since the snapshot
+    /// rolled some deliveries back).
+    #[must_use]
+    pub fn redelivered(&self, receiver: usize) -> u64 {
+        self.nodes[receiver].redelivered
+    }
+
+    /// Distinct messages of `sender`'s stream delivered at `receiver`
+    /// across all incarnations.
+    #[must_use]
+    pub fn delivered_unique(&self, receiver: usize, sender: usize) -> u64 {
+        self.nodes[receiver].all[sender].len() as u64
+    }
+
+    /// Final convergence check: given `streams[s]` = number of messages
+    /// node `s` broadcast, every node must have delivered every other
+    /// stream completely (seqs `1..=streams[s]`, no gaps).
+    ///
+    /// # Errors
+    ///
+    /// The first hole found.
+    pub fn certify(&self, streams: &[u64]) -> Result<(), StreamViolation> {
+        for (receiver, node) in self.nodes.iter().enumerate() {
+            for (sender, &count) in streams.iter().enumerate() {
+                if sender == receiver {
+                    continue;
+                }
+                let have = (1..=count).filter(|s| node.all[sender].contains(s)).count() as u64;
+                if have != count {
+                    return Err(StreamViolation::LostMessages {
+                        receiver,
+                        sender,
+                        missing: count - have,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

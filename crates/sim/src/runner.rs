@@ -14,7 +14,8 @@ use pcb_analysis::error_model;
 use pcb_clock::KeySpace;
 
 use crate::config::SimConfig;
-use crate::engine::{simulate_prob, SimError};
+use crate::engine::{simulate_prob, simulate_vector, SimError};
+use crate::fault::FaultPlan;
 use crate::metrics::RunMetrics;
 use crate::rng::derive_seed;
 
@@ -244,6 +245,76 @@ pub fn epsilon_validation(opts: SweepOptions, n: usize) -> Result<EpsilonValidat
         KeySpace::new(PAPER_R, PAPER_K).map_err(|e| SimError::InvalidConfig(e.to_string()))?;
     let metrics = simulate_prob(&cfg, space)?;
     Ok(EpsilonValidation { metrics })
+}
+
+/// Outcome of one chaos run: the injected plan (replayable via
+/// [`FaultPlan::to_text`]) and the run's metrics.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The fault plan that was injected.
+    pub plan: FaultPlan,
+    /// Metrics of the run, including the chaos counters.
+    pub metrics: RunMetrics,
+}
+
+impl ChaosOutcome {
+    /// Whether every surviving node converged to the full message set
+    /// after the faults healed (the liveness half of the safety oracle).
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.metrics.undelivered == 0 && self.metrics.stuck == 0
+    }
+}
+
+/// The configuration a seeded chaos run uses: `n` nodes, a generated
+/// [`FaultPlan::random`] schedule occupying the middle of the run, and a
+/// tail of fault-free time for anti-entropy to converge in.
+#[must_use]
+pub fn chaos_config(seed: u64, n: usize, duration_ms: f64) -> SimConfig {
+    let plan = FaultPlan::random(seed, n, 0.10 * duration_ms, 0.80 * duration_ms);
+    SimConfig {
+        n,
+        mean_send_interval_ms: 150.0,
+        duration_ms,
+        warmup_ms: 0.0,
+        seed,
+        track_exact: true,
+        track_epsilon: false,
+        faults: Some(plan),
+        ..SimConfig::default()
+    }
+}
+
+/// One deterministic chaos run of the probabilistic discipline: same
+/// `seed` ⇒ bit-identical plan, workload, and metrics.
+///
+/// # Errors
+///
+/// Propagates simulation failure.
+pub fn chaos_run(
+    seed: u64,
+    n: usize,
+    duration_ms: f64,
+    space: KeySpace,
+) -> Result<ChaosOutcome, SimError> {
+    let cfg = chaos_config(seed, n, duration_ms);
+    let plan = cfg.faults.clone().expect("chaos_config sets a plan");
+    let metrics = simulate_prob(&cfg, space)?;
+    Ok(ChaosOutcome { plan, metrics })
+}
+
+/// The same chaos run under exact vector clocks — the certification
+/// variant: any `exact_violations` here is a real safety bug, not a
+/// probabilistic hash collision.
+///
+/// # Errors
+///
+/// Propagates simulation failure.
+pub fn chaos_run_vector(seed: u64, n: usize, duration_ms: f64) -> Result<ChaosOutcome, SimError> {
+    let cfg = chaos_config(seed, n, duration_ms);
+    let plan = cfg.faults.clone().expect("chaos_config sets a plan");
+    let metrics = simulate_vector(&cfg)?;
+    Ok(ChaosOutcome { plan, metrics })
 }
 
 #[cfg(test)]

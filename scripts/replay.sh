@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Re-run a failing chaos plan bit-identically from its seed.
+#
+#   scripts/replay.sh <seed> [n] [duration_ms]
+#
+# Fault plans are generated deterministically from the seed (and the
+# chaos engine derives all of its randomness from it too), so the same
+# seed reproduces the exact event schedule, fault timing, and metrics of
+# the run that failed — the first thing to reach for when
+# `scripts/verify.sh --chaos` or a soak run reports a seed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: scripts/replay.sh <seed> [n] [duration_ms]" >&2
+    exit 2
+fi
+
+export CARGO_NET_OFFLINE=true
+exec cargo run --release -p pcb-bench --bin chaos_soak -- "$@"

@@ -4,6 +4,7 @@
 #
 #   scripts/verify.sh          # tier-1 + workspace tests + fmt + clippy
 #   scripts/verify.sh --tier1  # just the tier-1 gate (what CI enforces)
+#   scripts/verify.sh --chaos  # the above plus a deterministic chaos soak
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +38,13 @@ if cargo clippy --version >/dev/null 2>&1; then
     run cargo clippy --workspace --all-targets -- -D warnings
 else
     echo "==> cargo clippy unavailable — skipped"
+fi
+
+# Optional chaos stage: short deterministic fault-injection soak over a
+# fixed seed set. Any failure prints the seed; replay it bit-identically
+# with scripts/replay.sh <seed>.
+if [[ "${1:-}" == "--chaos" ]]; then
+    run cargo run --release -p pcb-bench --bin chaos_soak
 fi
 
 echo "verify: OK"

@@ -202,8 +202,14 @@ pub trait Buf {
     /// Reads one byte, advancing the cursor.
     fn get_u8(&mut self) -> u8;
 
+    /// Reads a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64;
+
     /// Reads a little-endian `u128`, advancing the cursor.
     fn get_u128_le(&mut self) -> u128;
+
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
 }
 
 impl Buf for Bytes {
@@ -218,6 +224,14 @@ impl Buf for Bytes {
         b
     }
 
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.len() >= 8, "get_u64_le past end");
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.data[self.start..self.start + 8]);
+        self.start += 8;
+        u64::from_le_bytes(raw)
+    }
+
     fn get_u128_le(&mut self) -> u128 {
         assert!(self.len() >= 16, "get_u128_le past end");
         let mut raw = [0u8; 16];
@@ -225,12 +239,20 @@ impl Buf for Bytes {
         self.start += 16;
         u128::from_le_bytes(raw)
     }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
 }
 
 /// Write-cursor over a byte sink.
 pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, b: u8);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
 
     /// Appends a little-endian `u128`.
     fn put_u128_le(&mut self, v: u128);
@@ -242,6 +264,10 @@ pub trait BufMut {
 impl BufMut for BytesMut {
     fn put_u8(&mut self, b: u8) {
         self.data.push(b);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
     }
 
     fn put_u128_le(&mut self, v: u128) {
@@ -263,13 +289,23 @@ mod tests {
         b.put_u8(7);
         b.put_slice(b"abc");
         b.put_u128_le(99);
+        b.put_u64_le(41);
         let mut frozen = b.freeze();
-        assert_eq!(frozen.len(), 20);
+        assert_eq!(frozen.len(), 28);
         assert_eq!(frozen.get_u8(), 7);
         let abc = frozen.split_to(3);
         assert_eq!(&abc[..], b"abc");
         assert_eq!(frozen.get_u128_le(), 99);
+        assert_eq!(frozen.get_u64_le(), 41);
         assert!(!frozen.has_remaining());
+    }
+
+    #[test]
+    fn advance_moves_the_cursor() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        b.advance(2);
+        assert_eq!(b.get_u8(), 3);
+        assert_eq!(b.remaining(), 1);
     }
 
     #[test]
