@@ -24,8 +24,8 @@ fn report(label: &str, outcome: &ChaosOutcome) {
         m.undelivered,
         m.stuck,
         m.crashes,
-        m.snapshot_restores,
-        m.refetched,
+        m.recovery.snapshot_restores,
+        m.recovery.refetched,
         m.partition_dropped + m.link_dropped,
         m.duplicate_frames,
         m.corrupted_frames,

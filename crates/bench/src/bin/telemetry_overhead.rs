@@ -1,0 +1,173 @@
+//! Telemetry overhead guard: a disabled trace sink must be (nearly)
+//! free on the protocol's hottest path.
+//!
+//! ```text
+//! cargo run --release -p pcb-bench --bin telemetry_overhead
+//! ```
+//!
+//! Runs the `pending_wakeup` bench's reversed-FIFO cascade (`P`
+//! messages, every one blocked until the chain head lands) through the
+//! wake-up engine twice: the untraced entry points
+//! (`insert`/`on_clock_advance`/`pop_ready`) and the hooked ones
+//! (`insert_tracked`/`on_clock_advance_with`/`pop_ready_entry`) feeding
+//! a **disabled** [`Tracer`]. Rounds interleave and the minimum per
+//! variant is compared, so scheduler noise cancels; the hooked path must
+//! stay within 5% (plus a small absolute floor for timer noise) of the
+//! untraced baseline, and the disabled sink must have recorded nothing.
+//! Exits non-zero on either failure — the `scripts/verify.sh --trace`
+//! guard for "observability is free when off".
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use pcb_broadcast::{InsertVerdict, Message, MessageId, WakeupIndex};
+use pcb_clock::{KeySet, KeySpace, ProbClock, ProcessId};
+use pcb_telemetry::{TraceEvent, Tracer};
+
+const R: usize = 32;
+const K: usize = 2;
+const P: usize = 10_000;
+const ROUNDS: usize = 30;
+
+/// The sender's FIFO chain: `count` messages stamped in sequence
+/// (mirrors `benches/pending_wakeup.rs`).
+fn chain(space: KeySpace, count: usize) -> Vec<Message<()>> {
+    let keys = std::sync::Arc::new(KeySet::from_entries(space, &[0, 1]).expect("entries in range"));
+    let mut sender = ProbClock::new(space);
+    (0..count)
+        .map(|i| {
+            let ts = sender.stamp_send(&keys);
+            Message::new(MessageId::new(ProcessId::new(0), i as u64 + 1), keys.clone(), ts, ())
+        })
+        .collect()
+}
+
+/// Preloads the index with the chain minus its head, fully reversed so
+/// everything blocks, via the untraced `insert`.
+fn preload(space: KeySpace, count: usize) -> (WakeupIndex<()>, ProbClock, Message<()>) {
+    let mut msgs = chain(space, count);
+    let head = msgs.remove(0);
+    msgs.reverse();
+    let clock = ProbClock::new(space);
+    let mut index = WakeupIndex::new(R);
+    for m in msgs {
+        index.insert(0, m, &clock);
+    }
+    assert_eq!(index.stats().ready_on_arrival, 0, "preload must stay blocked");
+    (index, clock, head)
+}
+
+/// One cascade through the untraced entry points.
+fn cascade_untraced(mut index: WakeupIndex<()>, mut clock: ProbClock, head: Message<()>) -> usize {
+    index.insert(0, head, &clock);
+    let mut delivered = 0;
+    while let Some(m) = index.pop_ready() {
+        clock.record_delivery(m.keys());
+        let keys: Vec<usize> = m.keys().iter().collect();
+        delivered += 1;
+        index.on_clock_advance(keys, &clock);
+    }
+    delivered
+}
+
+/// The same cascade through the tracing hooks with a disabled sink —
+/// emitting exactly the events the instrumented `PcbProcess` would.
+fn cascade_hooked(
+    mut index: WakeupIndex<()>,
+    mut clock: ProbClock,
+    head: Message<()>,
+    tracer: &mut Tracer,
+) -> usize {
+    match index.insert_tracked(0, head, &clock) {
+        InsertVerdict::Ready => {}
+        InsertVerdict::Parked { entry, required } => {
+            tracer.emit(|| TraceEvent::Parked {
+                sender: 0,
+                seq: 1,
+                entry: entry as u32,
+                threshold: required,
+            });
+        }
+    }
+    let mut delivered = 0;
+    while let Some((arrived, m)) = index.pop_ready_entry() {
+        clock.record_delivery(m.keys());
+        let (sender, seq) = (m.id().sender().index() as u32, m.id().seq());
+        tracer.emit(|| TraceEvent::Delivered {
+            sender,
+            seq,
+            blocked_for: arrived,
+            alert4: false,
+            alert5: false,
+            violation: false,
+        });
+        let keys: Vec<usize> = m.keys().iter().collect();
+        delivered += 1;
+        index.on_clock_advance_with(keys, &clock, |woken, entry| {
+            let (sender, seq) = (woken.id().sender().index() as u32, woken.id().seq());
+            tracer.emit(|| TraceEvent::Woken { sender, seq, entry: entry as u32 });
+        });
+    }
+    delivered
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    pcb_bench::banner(
+        "telemetry_overhead",
+        "disabled trace sink on the unblock cascade must cost < 5%",
+    );
+    let space = KeySpace::new(R, K)?;
+    let seed = preload(space, P);
+    let mut tracer = Tracer::disabled();
+
+    // Warm up both paths once (page in the clones, settle the allocator).
+    let (i0, c0, h0) = seed.clone();
+    assert_eq!(cascade_untraced(i0, c0, h0), P);
+    let (i1, c1, h1) = seed.clone();
+    assert_eq!(cascade_hooked(i1, c1, h1, &mut tracer), P);
+
+    let mut best_untraced = Duration::MAX;
+    let mut best_hooked = Duration::MAX;
+    for _ in 0..ROUNDS {
+        let (index, clock, head) = seed.clone();
+        let t = Instant::now();
+        let delivered = cascade_untraced(index, clock, head);
+        best_untraced = best_untraced.min(t.elapsed());
+        assert_eq!(black_box(delivered), P);
+
+        let (index, clock, head) = seed.clone();
+        let t = Instant::now();
+        let delivered = cascade_hooked(index, clock, head, &mut tracer);
+        best_hooked = best_hooked.min(t.elapsed());
+        assert_eq!(black_box(delivered), P);
+    }
+
+    println!(
+        "cascade of {P}: untraced {:>10.1?}  hooked(disabled sink) {:>10.1?}  ratio {:.3}",
+        best_untraced,
+        best_hooked,
+        best_hooked.as_secs_f64() / best_untraced.as_secs_f64()
+    );
+
+    if !tracer.is_empty() || tracer.dropped() > 0 {
+        return Err(format!(
+            "disabled tracer recorded events: len {} dropped {}",
+            tracer.len(),
+            tracer.dropped()
+        )
+        .into());
+    }
+
+    // 5% relative budget plus 50µs absolute floor so sub-millisecond
+    // baselines don't fail on timer granularity.
+    let budget = best_untraced.mul_f64(1.05) + Duration::from_micros(50);
+    if best_hooked > budget {
+        return Err(format!(
+            "telemetry overhead too high: hooked {best_hooked:?} exceeds budget {budget:?} \
+             (untraced {best_untraced:?})"
+        )
+        .into());
+    }
+    println!("telemetry_overhead: OK (disabled sink within budget, zero events recorded)");
+    Ok(())
+}

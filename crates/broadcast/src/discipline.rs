@@ -51,6 +51,14 @@ pub trait Discipline {
     /// Control-information wire size in bytes for one message.
     fn stamp_wire_size(stamp: &Self::Stamp) -> usize;
 
+    /// The stamp's values on the sender's own `keys`, in key order — what
+    /// a trace needs to replay clock effects exactly. Disciplines whose
+    /// stamp is not an entry vector return the empty default.
+    fn stamp_key_values(stamp: &Self::Stamp, keys: &KeySet) -> Vec<u64> {
+        let _ = (stamp, keys);
+        Vec::new()
+    }
+
     /// State transfer for a joining process: adopt the *ordering state*
     /// (clock values) of `donor` while keeping this process's own
     /// identity/keys. Default: no state to adopt.
@@ -170,6 +178,10 @@ impl Discipline for ProbDiscipline {
         stamp.wire_size()
     }
 
+    fn stamp_key_values(stamp: &Timestamp, keys: &KeySet) -> Vec<u64> {
+        keys.iter().map(|entry| stamp[entry]).collect()
+    }
+
     fn adopt_state(&mut self, donor: &Self) {
         self.clock.reset_to(donor.clock.vector().clone());
     }
@@ -252,6 +264,10 @@ impl Discipline for DetectingProbDiscipline {
 
     fn stamp_wire_size(stamp: &Timestamp) -> usize {
         stamp.wire_size()
+    }
+
+    fn stamp_key_values(stamp: &Timestamp, keys: &KeySet) -> Vec<u64> {
+        ProbDiscipline::stamp_key_values(stamp, keys)
     }
 
     fn adopt_state(&mut self, donor: &Self) {
@@ -337,6 +353,10 @@ impl Discipline for MergeProbDiscipline {
 
     fn stamp_wire_size(stamp: &Timestamp) -> usize {
         stamp.wire_size()
+    }
+
+    fn stamp_key_values(stamp: &Timestamp, keys: &KeySet) -> Vec<u64> {
+        ProbDiscipline::stamp_key_values(stamp, keys)
     }
 
     fn adopt_state(&mut self, donor: &Self) {

@@ -54,8 +54,8 @@ pub use discipline::{
 };
 pub use membership::{Group, MemberState};
 pub use message::{Message, MessageId};
-pub use pending::{WakeupIndex, WakeupStats};
+pub use pending::{InsertVerdict, WakeupIndex, WakeupStats};
 pub use process::{Delivery, PcbConfig, PcbProcess, ProcessStats};
-pub use recovery::{MessageStore, SyncRequest, SyncResponse};
+pub use recovery::{Counters, MessageStore, SyncRequest, SyncResponse};
 pub use snapshot::{decode_snapshot, encode_snapshot, ProcessSnapshot};
 pub use wire::{control_size, decode, encode, WireError};

@@ -57,6 +57,22 @@ pub struct WakeupStats {
     pub max_pending: usize,
 }
 
+/// Where [`WakeupIndex::insert_tracked`] routed a new arrival — the
+/// observable fact a tracer wants: did the message wait, and if so on
+/// which clock entry and for which local value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertVerdict {
+    /// Deliverable on arrival; it went straight to the ready heap.
+    Ready,
+    /// Blocked: parked on `entry` until the local clock reaches `required`.
+    Parked {
+        /// Clock entry the message is registered on.
+        entry: usize,
+        /// Local value that entry must reach before the next re-check.
+        required: u64,
+    },
+}
+
 /// A pending message plus its bookkeeping.
 #[derive(Debug, Clone)]
 struct Slot<P> {
@@ -127,6 +143,18 @@ impl<P> WakeupIndex<P> {
     /// [`WakeupIndex::pop_ready`]), blocked ones onto their first blocked
     /// entry's waiter heap.
     pub fn insert(&mut self, arrived: u64, message: Message<P>, clock: &ProbClock) {
+        let _ = self.insert_tracked(arrived, message, clock);
+    }
+
+    /// [`WakeupIndex::insert`] that also reports where the message went —
+    /// ready heap or a specific entry's waiter heap — so tracers can emit
+    /// `Parked { entry, threshold }` events without re-deriving the gap.
+    pub fn insert_tracked(
+        &mut self,
+        arrived: u64,
+        message: Message<P>,
+        clock: &ProbClock,
+    ) -> InsertVerdict {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         let slot = Slot { arrived, ticket, scan_from: 0, message };
@@ -142,14 +170,16 @@ impl<P> WakeupIndex<P> {
         };
         self.len += 1;
         self.stats.max_pending = self.stats.max_pending.max(self.len);
-        if self.classify(index, clock) {
+        let verdict = self.classify(index, clock);
+        if verdict == InsertVerdict::Ready {
             self.stats.ready_on_arrival += 1;
         }
+        verdict
     }
 
-    /// Routes slot `index` by its current gap; returns whether it became
-    /// ready. The scan resumes where the last one stopped.
-    fn classify(&mut self, index: usize, clock: &ProbClock) -> bool {
+    /// Routes slot `index` by its current gap; reports where it went. The
+    /// scan resumes where the last one stopped.
+    fn classify(&mut self, index: usize, clock: &ProbClock) -> InsertVerdict {
         let slot = self.slots[index].as_mut().expect("classify on live slot");
         self.stats.gap_checks += 1;
         let gap = clock.deliverability_gap_from(
@@ -160,13 +190,13 @@ impl<P> WakeupIndex<P> {
         match gap {
             Gap::Ready => {
                 self.ready.push(Reverse((slot.ticket, index)));
-                true
+                InsertVerdict::Ready
             }
             Gap::Blocked { entry, required } => {
                 debug_assert!(entry >= slot.scan_from, "gap scan moved left");
                 slot.scan_from = entry;
                 self.waiters[entry].push(Reverse((required, slot.ticket, index)));
-                false
+                InsertVerdict::Parked { entry, required }
             }
             Gap::Never => unreachable!("probabilistic guard never yields Never"),
         }
@@ -178,6 +208,18 @@ impl<P> WakeupIndex<P> {
     pub fn on_clock_advance<I>(&mut self, channels: I, clock: &ProbClock)
     where
         I: IntoIterator<Item = usize>,
+    {
+        self.on_clock_advance_with(channels, clock, |_, _| {});
+    }
+
+    /// [`WakeupIndex::on_clock_advance`] with a per-wake callback: for
+    /// each waiter whose threshold was crossed, `on_woken` sees the
+    /// message and the entry it was parked on *before* re-classification
+    /// (the message may park again on a later entry or become ready).
+    pub fn on_clock_advance_with<I, F>(&mut self, channels: I, clock: &ProbClock, mut on_woken: F)
+    where
+        I: IntoIterator<Item = usize>,
+        F: FnMut(&Message<P>, usize),
     {
         let local = clock.vector().entries();
         let mut fanout = 0u64;
@@ -191,6 +233,8 @@ impl<P> WakeupIndex<P> {
                 // elsewhere? No: each live slot is registered in exactly
                 // one heap, so the slot is live and parked right here.
                 fanout += 1;
+                let message = &self.slots[slot].as_ref().expect("woken slot is live").message;
+                on_woken(message, channel);
                 self.classify(slot, clock);
             }
         }
@@ -203,11 +247,17 @@ impl<P> WakeupIndex<P> {
     /// deliver next. Deliverability is monotone, so ready entries never
     /// need re-validation.
     pub fn pop_ready(&mut self) -> Option<Message<P>> {
+        self.pop_ready_entry().map(|(_, message)| message)
+    }
+
+    /// [`WakeupIndex::pop_ready`] that also returns the message's arrival
+    /// time, so callers can report how long it sat blocked.
+    pub fn pop_ready_entry(&mut self) -> Option<(u64, Message<P>)> {
         let Reverse((_, index)) = self.ready.pop()?;
         let slot = self.slots[index].take().expect("ready slot is live");
         self.free.push(index);
         self.len -= 1;
-        Some(slot.message)
+        Some((slot.arrived, slot.message))
     }
 
     /// Throws away all index structure and re-classifies every pending

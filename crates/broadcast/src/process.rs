@@ -10,11 +10,12 @@
 use std::sync::Arc;
 
 use pcb_clock::{KeySet, ProbClock, ProcessId};
+use pcb_telemetry::{TraceEvent, TraceRecord, Tracer};
 
 use crate::dedup::DedupFilter;
 use crate::detector::{instant_alert, RecentListDetector};
 use crate::message::{Message, MessageId};
-use crate::pending::{WakeupIndex, WakeupStats};
+use crate::pending::{InsertVerdict, WakeupIndex, WakeupStats};
 
 /// Tuning knobs for a [`PcbProcess`].
 #[derive(Debug, Clone)]
@@ -27,11 +28,15 @@ pub struct PcbConfig {
     /// Drop duplicate message ids (needed under gossip/UDP transports
     /// that may deliver the same message several times).
     pub dedup: bool,
+    /// Ring-buffer capacity for lifecycle trace events; `0` (the default)
+    /// disables tracing entirely — the emit path is a no-op closure that
+    /// never builds an event.
+    pub trace_capacity: usize,
 }
 
 impl Default for PcbConfig {
     fn default() -> Self {
-        Self { detect_instant: true, recent_window: None, dedup: true }
+        Self { detect_instant: true, recent_window: None, dedup: true, trace_capacity: 0 }
     }
 }
 
@@ -97,6 +102,7 @@ pub struct PcbProcess<P> {
     recent: Option<RecentListDetector>,
     config: PcbConfig,
     stats: ProcessStats,
+    tracer: Tracer,
 }
 
 impl<P> PcbProcess<P> {
@@ -112,6 +118,7 @@ impl<P> PcbProcess<P> {
         let clock = ProbClock::new(keys.space());
         let recent = config.recent_window.map(RecentListDetector::new);
         let pending = WakeupIndex::new(clock.len());
+        let tracer = Tracer::ring(id.index() as u32, config.trace_capacity);
         Self {
             id,
             keys: Arc::new(keys),
@@ -122,6 +129,7 @@ impl<P> PcbProcess<P> {
             recent,
             config,
             stats: ProcessStats::default(),
+            tracer,
         }
     }
 
@@ -178,6 +186,25 @@ impl<P> PcbProcess<P> {
         self.pending.stats()
     }
 
+    /// Advances the tracer's notion of "now" without any protocol action.
+    /// Call it when the endpoint's host learns the time outside a
+    /// `broadcast`/`on_receive` (e.g. before emitting host-level events
+    /// through [`PcbProcess::tracer_mut`]).
+    pub fn set_now(&mut self, now: u64) {
+        self.tracer.advance(now);
+    }
+
+    /// Mutable access to the lifecycle tracer, for hosts that emit their
+    /// own events (snapshots, recoveries, re-fetches) into the same ring.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Drains all buffered trace records, oldest first.
+    pub fn drain_trace(&mut self) -> Vec<TraceRecord> {
+        self.tracer.drain()
+    }
+
     /// **Algorithm 1.** Stamps and returns a broadcast message carrying
     /// `payload`. Hand the result to the transport; the local application
     /// is considered to have "delivered" its own message implicitly.
@@ -189,6 +216,13 @@ impl<P> PcbProcess<P> {
         if self.config.dedup {
             self.seen.insert(id);
         }
+        let (sender, seq, keys) = (self.id, self.seq, &self.keys);
+        self.tracer.emit(|| TraceEvent::Sent {
+            sender: sender.index() as u32,
+            seq,
+            keys: keys.entries().to_vec(),
+            key_vals: keys.iter().map(|entry| ts[entry]).collect(),
+        });
         Message::new(id, Arc::clone(&self.keys), ts, payload)
     }
 
@@ -198,11 +232,22 @@ impl<P> PcbProcess<P> {
     /// order — the new message may unblock older pending ones and vice
     /// versa, so zero, one, or many deliveries can result.
     pub fn on_receive(&mut self, message: Message<P>, now: u64) -> Vec<Delivery<P>> {
+        self.tracer.advance(now);
         if self.config.dedup && !self.seen.insert(message.id()) {
             self.stats.duplicates += 1;
             return Vec::new();
         }
-        self.pending.insert(now, message, &self.clock);
+        let (sender, seq) = (message.id().sender().index() as u32, message.id().seq());
+        self.tracer.emit(|| TraceEvent::Received { sender, seq });
+        let verdict = self.pending.insert_tracked(now, message, &self.clock);
+        if let InsertVerdict::Parked { entry, required } = verdict {
+            self.tracer.emit(|| TraceEvent::Parked {
+                sender,
+                seq,
+                entry: entry as u32,
+                threshold: required,
+            });
+        }
         self.stats.max_pending = self.stats.max_pending.max(self.pending.len());
         self.drain(now)
     }
@@ -261,6 +306,7 @@ impl<P> PcbProcess<P> {
         let recent = snapshot.config.recent_window.map(RecentListDetector::new);
         let store =
             crate::recovery::MessageStore::from_entries(snapshot.store_window, snapshot.store);
+        let tracer = Tracer::ring(snapshot.id.index() as u32, snapshot.config.trace_capacity);
         let process = Self {
             id: snapshot.id,
             keys: Arc::new(snapshot.keys),
@@ -271,6 +317,7 @@ impl<P> PcbProcess<P> {
             recent,
             config: snapshot.config,
             stats: snapshot.stats,
+            tracer,
         };
         (process, store)
     }
@@ -304,15 +351,25 @@ impl<P> PcbProcess<P> {
     /// the old front-to-back rescan exactly; see `tests/differential.rs`.
     fn drain(&mut self, now: u64) -> Vec<Delivery<P>> {
         let mut out = Vec::new();
-        while let Some(message) = self.pending.pop_ready() {
-            let delivery = self.deliver(message, now);
-            self.pending.on_clock_advance(delivery.message.keys().iter(), &self.clock);
+        while let Some((arrived, message)) = self.pending.pop_ready_entry() {
+            let delivery = self.deliver(message, now, now.saturating_sub(arrived));
+            // Disjoint-field borrow: the wake callback writes the tracer
+            // while the index iterates its own heaps.
+            let tracer = &mut self.tracer;
+            self.pending.on_clock_advance_with(
+                delivery.message.keys().iter(),
+                &self.clock,
+                |woken, entry| {
+                    let (sender, seq) = (woken.id().sender().index() as u32, woken.id().seq());
+                    tracer.emit(|| TraceEvent::Woken { sender, seq, entry: entry as u32 });
+                },
+            );
             out.push(delivery);
         }
         out
     }
 
-    fn deliver(&mut self, message: Message<P>, now: u64) -> Delivery<P> {
+    fn deliver(&mut self, message: Message<P>, now: u64, blocked_for: u64) -> Delivery<P> {
         let instant = self.config.detect_instant
             && instant_alert(&self.clock, message.timestamp(), message.keys());
         let recent = match &mut self.recent {
@@ -326,6 +383,24 @@ impl<P> PcbProcess<P> {
         self.stats.delivered += 1;
         self.stats.instant_alerts += u64::from(instant);
         self.stats.recent_alerts += u64::from(recent);
+        let (sender, seq) = (message.id().sender().index() as u32, message.id().seq());
+        self.tracer.emit(|| TraceEvent::Delivered {
+            sender,
+            seq,
+            blocked_for,
+            alert4: instant,
+            alert5: recent,
+            violation: false,
+        });
+        // The endpoint has no exact oracle; `suspects` reports the pending
+        // backlog as the concurrency proxy an operator can act on.
+        let suspects = self.pending.len() as u32;
+        if instant {
+            self.tracer.emit(|| TraceEvent::Alert { alg: 4, sender, seq, suspects });
+        }
+        if recent {
+            self.tracer.emit(|| TraceEvent::Alert { alg: 5, sender, seq, suspects });
+        }
         Delivery { message, instant_alert: instant, recent_alert: recent }
     }
 }
@@ -524,6 +599,59 @@ mod tests {
     fn poll_is_noop_without_state_change() {
         let mut b = proc(1, &[1, 2]);
         assert!(b.poll(0).is_empty());
+    }
+
+    #[test]
+    fn lifecycle_trace_records_park_wake_deliver() {
+        let cfg = PcbConfig { trace_capacity: 64, ..PcbConfig::default() };
+        let mut a = PcbProcess::with_config(
+            ProcessId::new(0),
+            KeySet::from_entries(space(), &[0, 1]).unwrap(),
+            cfg.clone(),
+        );
+        let mut b = PcbProcess::with_config(
+            ProcessId::new(1),
+            KeySet::from_entries(space(), &[1, 2]).unwrap(),
+            cfg,
+        );
+        let m1 = a.broadcast("1");
+        let m2 = a.broadcast("2");
+        assert!(b.on_receive(m2, 5).is_empty());
+        assert_eq!(b.on_receive(m1, 9).len(), 2);
+
+        let sends = a.drain_trace();
+        assert_eq!(sends.len(), 2);
+        assert!(matches!(sends[0].event, pcb_telemetry::TraceEvent::Sent { seq: 1, .. }));
+
+        let trace = b.drain_trace();
+        let names: Vec<_> = trace.iter().map(|r| r.event.name()).collect();
+        assert_eq!(
+            names,
+            ["Received", "Parked", "Received", "Delivered", "Woken", "Delivered"],
+            "out-of-order pair parks then wakes: {names:?}"
+        );
+        let blocked: Vec<_> = trace
+            .iter()
+            .filter_map(|r| match r.event {
+                pcb_telemetry::TraceEvent::Delivered { seq, blocked_for, .. } => {
+                    Some((seq, blocked_for))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(blocked, [(1, 0), (2, 4)], "m2 sat pending from t=5 to t=9");
+        assert!(b.drain_trace().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn disabled_tracer_stays_empty() {
+        let mut a = proc(0, &[0, 1]);
+        let mut b = proc(1, &[1, 2]);
+        let m = a.broadcast("x");
+        b.on_receive(m, 0);
+        assert!(a.drain_trace().is_empty());
+        assert!(b.drain_trace().is_empty());
+        assert!(!b.tracer_mut().enabled());
     }
 
     #[test]

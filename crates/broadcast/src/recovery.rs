@@ -15,6 +15,37 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::message::{Message, MessageId};
 
+/// Recovery-health counters shared by every layer that reports them.
+///
+/// The simulator's `RunMetrics` and the live runtime's `NodeStatus` used
+/// to hand-mirror these fields; embedding one struct keeps the lists from
+/// drifting, and [`Counters::merge`] is the single aggregation rule for
+/// both sim replication pooling and cluster-wide status totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Anti-entropy sync probes issued.
+    pub sync_requests: u64,
+    /// Sync probes that reached a live, reachable peer and were served.
+    pub sync_served: u64,
+    /// Messages re-fetched through anti-entropy.
+    pub refetched: u64,
+    /// Durable snapshots taken.
+    pub snapshots_taken: u64,
+    /// Recoveries that resumed from a durable snapshot.
+    pub snapshot_restores: u64,
+}
+
+impl Counters {
+    /// Adds another set of counters into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.sync_requests += other.sync_requests;
+        self.sync_served += other.sync_served;
+        self.refetched += other.refetched;
+        self.snapshots_taken += other.snapshots_taken;
+        self.snapshot_restores += other.snapshot_restores;
+    }
+}
+
 /// Bounded store of recently seen messages, retained for `window` time
 /// units, used to answer anti-entropy requests. Lookups by id are `O(1)`:
 /// an id → absolute-position map rides alongside the deque, with a base

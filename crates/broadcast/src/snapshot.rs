@@ -139,7 +139,15 @@ pub fn decode_snapshot(blob: Bytes) -> Result<ProcessSnapshot<Bytes>, WireError>
     let flags = blob.get_u8();
     let recent_window = if flags & 0b100 != 0 { Some(wire::get_uvar(&mut blob)?) } else { None };
     let config =
-        PcbConfig { detect_instant: flags & 0b001 != 0, recent_window, dedup: flags & 0b010 != 0 };
+        // `trace_capacity` is a local observability knob, not protocol
+        // state — it is not wire-encoded; a decoded endpoint starts with
+        // tracing off until its host reconfigures it.
+        PcbConfig {
+            detect_instant: flags & 0b001 != 0,
+            recent_window,
+            dedup: flags & 0b010 != 0,
+            trace_capacity: 0,
+        };
     let seq = wire::get_uvar(&mut blob)?;
     let clock_len = wire::get_uvar(&mut blob)? as usize;
     if clock_len > blob.remaining() {

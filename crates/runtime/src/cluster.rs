@@ -3,12 +3,13 @@
 
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
-use pcb_broadcast::PcbConfig;
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use pcb_broadcast::{Counters, PcbConfig};
 use pcb_clock::{AssignmentPolicy, KeyAssigner, KeySpace, ProcessId};
 use pcb_sim::{FaultKind, FaultPlan, LinkFaults};
+use pcb_telemetry::{PromWriter, TraceRecord};
 
-use crate::node::{spawn_node, Command, NodeHandle, RecoveryConfig};
+use crate::node::{spawn_node, Command, NodeHandle, NodeStatus, RecoveryConfig};
 use crate::transport::{spawn_router, LatencyModel, RouterMsg};
 
 /// Cluster construction parameters.
@@ -284,6 +285,70 @@ impl<P: Send + Clone + 'static> Cluster<P> {
             .expect("spawn chaos controller thread")
     }
 
+    /// One Prometheus-text exposition page covering every node: protocol
+    /// counters, pending gauge, recovery-health counters, and the
+    /// wake-up engine's work counters, all labelled `node="i"`. Blocks
+    /// for one loop turn per node; crashed nodes still answer. The page
+    /// passes [`pcb_telemetry::validate`].
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&gather_statuses(&self.inboxes))
+    }
+
+    /// Drains every node's lifecycle trace ring and merges the records
+    /// into one wall-clock-ordered stream (stable on ties, so each
+    /// node's emission order is preserved). Empty unless
+    /// `ClusterConfig::process.trace_capacity` is non-zero.
+    #[must_use]
+    pub fn drain_traces(&self) -> Vec<TraceRecord> {
+        let mut records = Vec::new();
+        for node in &self.nodes {
+            records.extend(node.drain_trace());
+        }
+        records.sort_by_key(|r| r.time);
+        records
+    }
+
+    /// Cluster-wide recovery-health totals (syncs, re-fetches,
+    /// snapshots) — the sum of every node's [`NodeStatus::recovery`].
+    #[must_use]
+    pub fn recovery_totals(&self) -> Counters {
+        let mut totals = Counters::default();
+        for (_, status) in gather_statuses(&self.inboxes) {
+            totals.merge(&status.recovery);
+        }
+        totals
+    }
+
+    /// Spawns a thread that renders [`Cluster::metrics_text`] every
+    /// `every` and hands the page to `sink` (write it to a file, a
+    /// socket, stdout…). The dump stops when the returned handle is
+    /// dropped or [`MetricsDump::stop`] is called; it also exits on its
+    /// own once the cluster shuts down.
+    pub fn spawn_metrics_dump<F>(&self, every: Duration, mut sink: F) -> MetricsDump
+    where
+        F: FnMut(String) + Send + 'static,
+    {
+        let inboxes = self.inboxes.clone();
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let join = std::thread::Builder::new()
+            .name("pcb-metrics-dump".into())
+            .spawn(move || loop {
+                match stop_rx.recv_timeout(every) {
+                    Err(RecvTimeoutError::Timeout) => {
+                        let statuses = gather_statuses(&inboxes);
+                        if statuses.is_empty() {
+                            return; // every node gone: cluster shut down
+                        }
+                        sink(render_metrics(&statuses));
+                    }
+                    _ => return, // stop requested or handle dropped
+                }
+            })
+            .expect("spawn metrics dump thread");
+        MetricsDump { stop_tx, join: Some(join) }
+    }
+
     /// Stops every node and the router, joining all threads.
     pub fn shutdown(mut self) {
         for node in &mut self.nodes {
@@ -304,4 +369,107 @@ impl<P: Send + Clone + 'static> Drop for Cluster<P> {
         }
         // NodeHandle::drop shuts each node down.
     }
+}
+
+/// Handle to a periodic metrics-dump thread
+/// ([`Cluster::spawn_metrics_dump`]). Dropping it stops the dump.
+#[derive(Debug)]
+pub struct MetricsDump {
+    stop_tx: Sender<()>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsDump {
+    /// Stops the dump thread and joins it.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        let _ = self.stop_tx.send(());
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for MetricsDump {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Queries every node that still answers, in node order.
+fn gather_statuses<P: Send + Clone + 'static>(
+    inboxes: &[Sender<Command<P>>],
+) -> Vec<(usize, NodeStatus)> {
+    let mut statuses = Vec::with_capacity(inboxes.len());
+    for (i, inbox) in inboxes.iter().enumerate() {
+        let (tx, rx) = bounded(1);
+        if inbox.send(Command::Query(tx)).is_ok() {
+            if let Ok(status) = rx.recv() {
+                statuses.push((i, status));
+            }
+        }
+    }
+    statuses
+}
+
+/// Renders gathered statuses as one Prometheus exposition page.
+#[allow(clippy::cast_precision_loss)] // counters are far below 2^52
+fn render_metrics(statuses: &[(usize, NodeStatus)]) -> String {
+    type Get = fn(&NodeStatus) -> f64;
+    let families: &[(&str, &str, &str, Get)] = &[
+        ("pcb_node_sent_total", "counter", "Messages broadcast.", |s| s.stats.sent as f64),
+        ("pcb_node_delivered_total", "counter", "Messages delivered.", |s| {
+            s.stats.delivered as f64
+        }),
+        ("pcb_node_duplicates_total", "counter", "Duplicates dropped.", |s| {
+            s.stats.duplicates as f64
+        }),
+        ("pcb_node_instant_alerts_total", "counter", "Algorithm 4 alerts.", |s| {
+            s.stats.instant_alerts as f64
+        }),
+        ("pcb_node_recent_alerts_total", "counter", "Algorithm 5 alerts.", |s| {
+            s.stats.recent_alerts as f64
+        }),
+        ("pcb_node_pending", "gauge", "Messages blocked awaiting their causal past.", |s| {
+            s.pending as f64
+        }),
+        ("pcb_node_crashed", "gauge", "1 while the node is crash-injected.", |s| {
+            f64::from(u8::from(s.crashed))
+        }),
+        ("pcb_node_sync_requests_total", "counter", "Anti-entropy requests issued.", |s| {
+            s.recovery.sync_requests as f64
+        }),
+        ("pcb_node_sync_served_total", "counter", "Anti-entropy requests served.", |s| {
+            s.recovery.sync_served as f64
+        }),
+        ("pcb_node_refetched_total", "counter", "Messages re-fetched from peer stores.", |s| {
+            s.recovery.refetched as f64
+        }),
+        ("pcb_node_snapshots_total", "counter", "Durable snapshots taken.", |s| {
+            s.recovery.snapshots_taken as f64
+        }),
+        ("pcb_node_snapshot_restores_total", "counter", "Restores from snapshot.", |s| {
+            s.recovery.snapshot_restores as f64
+        }),
+        ("pcb_node_recovered_total", "counter", "Deliveries unblocked by anti-entropy.", |s| {
+            s.recovered as f64
+        }),
+        ("pcb_node_gap_checks_total", "counter", "Wake-up engine gap evaluations.", |s| {
+            s.wakeup.gap_checks as f64
+        }),
+        ("pcb_node_wakeups_total", "counter", "Waiters woken by clock advances.", |s| {
+            s.wakeup.wakeups as f64
+        }),
+    ];
+    let mut w = PromWriter::new();
+    for (name, kind, help, get) in families {
+        w.header(name, kind, help);
+        for (i, status) in statuses {
+            w.sample(name, &[("node", &i.to_string())], get(status));
+        }
+    }
+    w.into_text()
 }

@@ -26,7 +26,7 @@ pub mod cluster;
 pub mod node;
 pub mod transport;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterError};
+pub use cluster::{Cluster, ClusterConfig, ClusterError, MetricsDump};
 pub use node::{NodeHandle, NodeStatus, RecoveryConfig};
 // Chaos plans are shared with the simulator: the same `FaultPlan` drives
 // the sim engine's event loop in virtual time and this crate's

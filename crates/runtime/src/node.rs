@@ -6,9 +6,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use pcb_broadcast::{
-    Delivery, Message, MessageId, MessageStore, PcbConfig, PcbProcess, ProcessSnapshot, SyncRequest,
+    Counters, Delivery, Message, MessageId, MessageStore, PcbConfig, PcbProcess, ProcessSnapshot,
+    SyncRequest,
 };
 use pcb_clock::{KeySet, ProcessId, Timestamp};
+use pcb_telemetry::{TraceEvent, TraceRecord};
 
 use crate::transport::RouterMsg;
 
@@ -62,6 +64,10 @@ pub(crate) enum Command<P> {
     SyncResponse(Vec<Message<P>>),
     /// Snapshot request.
     Query(Sender<NodeStatus>),
+    /// Drain the node's lifecycle trace ring (allowed while crashed —
+    /// the ring is diagnostic state, and a crash is exactly when the
+    /// operator wants it).
+    DrainTrace(Sender<Vec<TraceRecord>>),
     /// Fault injection: halt the process, losing all volatile state
     /// (pending queue, anything delivered since the last snapshot).
     Crash,
@@ -81,19 +87,13 @@ pub struct NodeStatus {
     pub pending: usize,
     /// Snapshot of the local clock vector.
     pub clock: Timestamp,
-    /// Sync requests this node has issued.
-    pub sync_requests: u64,
+    /// Recovery-health counters (syncs, re-fetches, snapshots) — the same
+    /// struct the simulator's `RunMetrics` embeds, so the two reports
+    /// cannot drift.
+    pub recovery: Counters,
     /// Deliveries unblocked by anti-entropy responses (the replayed
     /// messages plus any pending cascade they released).
     pub recovered: u64,
-    /// Sync requests this node has served for peers.
-    pub sync_served: u64,
-    /// Messages received inside sync responses (before dedup).
-    pub refetched: u64,
-    /// Durable snapshots taken.
-    pub snapshots_taken: u64,
-    /// Restarts that resumed from a durable snapshot.
-    pub snapshot_restores: u64,
     /// Times the quiescence-probe backoff was re-armed to its minimum.
     pub backoff_resets: u64,
     /// Whether the node is currently crashed (fault injection).
@@ -159,6 +159,18 @@ impl<P: Send + 'static> NodeHandle<P> {
         let _ = self.cmd_tx.send(Command::Recover);
     }
 
+    /// Drains the node's lifecycle trace ring (blocks for the node's next
+    /// loop turn; empty when `PcbConfig::trace_capacity` is 0). Works on
+    /// crashed nodes too.
+    #[must_use]
+    pub fn drain_trace(&self) -> Vec<TraceRecord> {
+        let (tx, rx) = bounded(1);
+        if self.cmd_tx.send(Command::DrainTrace(tx)).is_err() {
+            return Vec::new();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
     /// Stops the node and joins its thread.
     pub fn shutdown(&mut self) {
         let _ = self.cmd_tx.send(Command::Shutdown);
@@ -187,7 +199,8 @@ struct NodeLoop<P> {
     epoch: Instant,
     router_tx: Sender<RouterMsg<P>>,
     delivery_tx: Sender<Delivery<P>>,
-    sync_requests: u64,
+    /// Recovery-health counters surfaced verbatim in [`NodeStatus`].
+    counters: Counters,
     recovered: u64,
     sync_in_flight: bool,
     /// When the in-flight sync request went out; after
@@ -210,10 +223,6 @@ struct NodeLoop<P> {
     durable_seq: u64,
     /// When the next periodic snapshot is due.
     next_snapshot_ms: u64,
-    sync_served: u64,
-    refetched: u64,
-    snapshots_taken: u64,
-    snapshot_restores: u64,
     backoff_resets: u64,
 }
 
@@ -266,7 +275,7 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
         if pending_stale || idle_probe {
             let known: Vec<MessageId> = self.process.seen_ids().collect();
             if self.router_tx.send(RouterMsg::SyncRequest { from: self.id, known }).is_ok() {
-                self.sync_requests += 1;
+                self.counters.sync_requests += 1;
                 self.sync_in_flight = true;
                 self.sync_sent_at_ms = now;
             }
@@ -291,7 +300,9 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
             return;
         }
         self.stable = Some(self.process.snapshot(&self.store));
-        self.snapshots_taken += 1;
+        self.counters.snapshots_taken += 1;
+        self.process.set_now(now);
+        self.process.tracer_mut().emit(|| TraceEvent::SnapshotTaken);
         self.next_snapshot_ms = now + (recovery.snapshot_every.as_millis() as u64).max(1);
     }
 
@@ -314,11 +325,13 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
             let (process, store) = PcbProcess::restore(snapshot);
             self.process = process;
             self.store = store;
-            self.snapshot_restores += 1;
+            self.counters.snapshot_restores += 1;
         } else {
             self.process = PcbProcess::with_config(self.id, self.keys.clone(), self.config.clone());
             self.store = MessageStore::new(self.store.window());
         }
+        self.process.set_now(self.now_ms());
+        self.process.tracer_mut().emit(|| TraceEvent::SnapshotRestored);
         let _ = self.process.replay_own_sends(self.durable_seq);
         self.last_activity_ms = 0;
         self.reset_idle_backoff();
@@ -344,6 +357,9 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
             if self.crashed {
                 match cmd {
                     Command::Query(reply) => self.answer_query(&reply),
+                    Command::DrainTrace(reply) => {
+                        let _ = reply.send(self.process.drain_trace());
+                    }
                     Command::Recover => self.recover(),
                     Command::Shutdown => break,
                     _ => {}
@@ -366,8 +382,9 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
                     // message hits the wire, so a crash between the two
                     // can only lose the payload, never reuse the stamp.
                     self.durable_seq += 1;
-                    let message = self.process.broadcast(payload);
                     let now = self.now_ms();
+                    self.process.set_now(now);
+                    let message = self.process.broadcast(payload);
                     self.store.insert(now, message.clone());
                     if self.router_tx.send(RouterMsg::Broadcast { from: self.id, message }).is_err()
                     {
@@ -376,7 +393,7 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
                 }
                 Command::SyncRequest { from, known } => {
                     let response = self.store.handle_sync(&SyncRequest::new(known));
-                    self.sync_served += 1;
+                    self.counters.sync_served += 1;
                     // Always reply — an empty response tells the requester
                     // this peer had nothing, so it can ask another.
                     let _ = self.router_tx.send(RouterMsg::SyncResponse {
@@ -387,7 +404,12 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
                 }
                 Command::SyncResponse(messages) => {
                     self.sync_in_flight = false;
-                    self.refetched += messages.len() as u64;
+                    self.counters.refetched += messages.len() as u64;
+                    self.process.set_now(self.now_ms());
+                    for m in &messages {
+                        let (sender, seq) = (m.id().sender().index() as u32, m.id().seq());
+                        self.process.tracer_mut().emit(|| TraceEvent::Refetched { sender, seq });
+                    }
                     let mut delivered_any = false;
                     for m in messages {
                         delivered_any |= self.accept(m, true);
@@ -408,6 +430,9 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
                     self.maybe_request_sync();
                 }
                 Command::Query(reply) => self.answer_query(&reply),
+                Command::DrainTrace(reply) => {
+                    let _ = reply.send(self.process.drain_trace());
+                }
                 Command::Crash => self.crash(),
                 Command::Recover => {} // not crashed: nothing to do
                 Command::Shutdown => break,
@@ -420,12 +445,8 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
             stats: self.process.stats(),
             pending: self.process.pending_len(),
             clock: self.process.clock().vector().clone(),
-            sync_requests: self.sync_requests,
+            recovery: self.counters,
             recovered: self.recovered,
-            sync_served: self.sync_served,
-            refetched: self.refetched,
-            snapshots_taken: self.snapshots_taken,
-            snapshot_restores: self.snapshot_restores,
             backoff_resets: self.backoff_resets,
             crashed: self.crashed,
             wakeup: self.process.wakeup_stats(),
@@ -461,7 +482,7 @@ pub(crate) fn spawn_node<P: Send + Clone + 'static>(
                 epoch,
                 router_tx,
                 delivery_tx,
-                sync_requests: 0,
+                counters: Counters::default(),
                 recovered: 0,
                 sync_in_flight: false,
                 sync_sent_at_ms: 0,
@@ -473,10 +494,6 @@ pub(crate) fn spawn_node<P: Send + Clone + 'static>(
                 durable_seq: 0,
                 next_snapshot_ms: recovery
                     .map_or(u64::MAX, |r| (r.snapshot_every.as_millis() as u64).max(1)),
-                sync_served: 0,
-                refetched: 0,
-                snapshots_taken: 0,
-                snapshot_restores: 0,
                 backoff_resets: 0,
             };
             node.run(&cmd_rx);

@@ -109,7 +109,8 @@ fn crash_recover_catchup_round_trip() {
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
         drain(&cluster, &mut oracle);
-        let snapshotted = cluster.node(victim).status().is_some_and(|s| s.snapshots_taken > 0);
+        let snapshotted =
+            cluster.node(victim).status().is_some_and(|s| s.recovery.snapshots_taken > 0);
         if snapshotted {
             break;
         }
@@ -143,9 +144,13 @@ fn crash_recover_catchup_round_trip() {
 
     let status = cluster.node(victim).status().expect("recovered node answers queries");
     assert!(!status.crashed);
-    assert_eq!(status.snapshot_restores, 1, "restart must resume from the durable snapshot");
-    assert!(status.refetched > 0, "catch-up must flow through anti-entropy");
-    let served: u64 = (0..n).filter_map(|i| cluster.node(i).status()).map(|s| s.sync_served).sum();
+    assert_eq!(
+        status.recovery.snapshot_restores, 1,
+        "restart must resume from the durable snapshot"
+    );
+    assert!(status.recovery.refetched > 0, "catch-up must flow through anti-entropy");
+    let served: u64 =
+        (0..n).filter_map(|i| cluster.node(i).status()).map(|s| s.recovery.sync_served).sum();
     assert!(served > 0, "some peer must have served the victim's sync requests");
     cluster.shutdown();
 }
@@ -182,7 +187,8 @@ fn three_way_partition_heals_with_zero_lost_streams() {
     controller.join().expect("fault controller finishes");
     wait_for_certification(&cluster, &mut oracle, &seqs, Duration::from_secs(30));
 
-    let refetched: u64 = (0..n).filter_map(|i| cluster.node(i).status()).map(|s| s.refetched).sum();
+    let refetched: u64 =
+        (0..n).filter_map(|i| cluster.node(i).status()).map(|s| s.recovery.refetched).sum();
     assert!(refetched > 0, "healing must pull cross-group messages via sync");
     cluster.shutdown();
 }

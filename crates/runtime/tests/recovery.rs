@@ -105,7 +105,7 @@ fn recovery_status_counters_populate() {
     let expected = 20; // each node receives 2/3 of 30
     let _ = wait_for_deliveries(&cluster, expected, Duration::from_secs(30));
     let any_requests: u64 =
-        (0..3).map(|i| cluster.node(i).status().map_or(0, |s| s.sync_requests)).sum();
+        (0..3).map(|i| cluster.node(i).status().map_or(0, |s| s.recovery.sync_requests)).sum();
     assert!(any_requests > 0, "40% loss must trigger sync requests");
     cluster.shutdown();
 }

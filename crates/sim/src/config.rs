@@ -125,6 +125,10 @@ pub struct SimConfig {
     pub track_exact: bool,
     /// Run the paper's ε_min/ε_max estimator alongside.
     pub track_epsilon: bool,
+    /// Per-process lifecycle-trace ring capacity (events); `0` disables
+    /// tracing — the emit path never constructs an event. Collect the
+    /// records with [`crate::simulate_traced`].
+    pub trace_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -147,6 +151,7 @@ impl Default for SimConfig {
             faults: None,
             track_exact: true,
             track_epsilon: true,
+            trace_capacity: 0,
         }
     }
 }

@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use pcb_broadcast::Discipline;
 use pcb_clock::{Gap, KeyAssigner, KeySet, KeySpace, ProcessId};
+use pcb_telemetry::{TraceEvent, TraceRecord, Tracer};
 
 use crate::config::{Dissemination, SimConfig};
 use crate::fault::{FaultKind, FaultPlan, LinkFaults};
@@ -146,6 +147,7 @@ struct Proc<D> {
     eps: Option<EpsilonEstimator>,
     seen: Option<Vec<u64>>,
     snap: Option<Box<ProcSnap<D>>>,
+    tracer: Tracer,
 }
 
 impl<D> Proc<D> {
@@ -370,6 +372,17 @@ impl<D: Discipline + Clone> Engine<'_, D> {
         }
         let midx = self.msgs.len() as u32;
         let targets = self.procs.iter().filter(|q| q.active).count() as u32 - 1;
+        {
+            let keys = &self.keys[pi];
+            let key_vals =
+                self.procs[pi].tracer.enabled().then(|| D::stamp_key_values(&stamp, keys));
+            self.procs[pi].tracer.emit_at(now, || TraceEvent::Sent {
+                sender: p,
+                seq: u64::from(seq),
+                keys: keys.entries().to_vec(),
+                key_vals: key_vals.unwrap_or_default(),
+            });
+        }
         self.msgs.push(MsgRec {
             sender: p,
             seq,
@@ -486,8 +499,21 @@ impl<D: Discipline + Clone> Engine<'_, D> {
                 return;
             }
         }
+        let (sender, seq) = {
+            let rec = &self.msgs[msg as usize];
+            (rec.sender, u64::from(rec.seq))
+        };
+        self.procs[pi].tracer.emit_at(now, || TraceEvent::Received { sender, seq });
         let ticket = self.procs[pi].wake.ticket();
-        self.classify(pi, ticket, msg, now, 0);
+        let gap = self.classify(pi, ticket, msg, now, 0);
+        if let Gap::Blocked { entry, required } = gap {
+            self.procs[pi].tracer.emit_at(now, || TraceEvent::Parked {
+                sender,
+                seq,
+                entry: entry as u32,
+                threshold: required,
+            });
+        }
         self.metrics.pending_peak = self.metrics.pending_peak.max(self.procs[pi].wake.len());
         // A syncing joiner only buffers; the sync-done reconciliation
         // drains whatever the snapshot does not cover.
@@ -497,8 +523,9 @@ impl<D: Discipline + Clone> Engine<'_, D> {
     }
 
     /// Asks the discipline where the message blocks (resuming the channel
-    /// scan at `start`) and files the verdict in the wake table.
-    fn classify(&mut self, pi: usize, ticket: u64, msg: u32, arrived: u64, start: usize) {
+    /// scan at `start`), files the verdict in the wake table, and returns
+    /// it so callers can trace where the message went.
+    fn classify(&mut self, pi: usize, ticket: u64, msg: u32, arrived: u64, start: usize) -> Gap {
         let gap = {
             let rec = &self.msgs[msg as usize];
             let sender = ProcessId::new(rec.sender as usize);
@@ -512,6 +539,7 @@ impl<D: Discipline + Clone> Engine<'_, D> {
             }
             Gap::Never => self.procs[pi].wake.kill(msg, arrived),
         }
+        gap
     }
 
     /// Delivers everything ready, waking only the waiters parked on the
@@ -546,6 +574,15 @@ impl<D: Discipline + Clone> Engine<'_, D> {
                 woken.clear();
                 self.procs[pi].wake.pop_woken(channel, value, &mut woken);
                 for &(ticket, msg, arrived) in &woken {
+                    let (sender, seq) = {
+                        let rec = &self.msgs[msg as usize];
+                        (rec.sender, u64::from(rec.seq))
+                    };
+                    self.procs[pi].tracer.emit_at(now, || TraceEvent::Woken {
+                        sender,
+                        seq,
+                        entry: channel as u32,
+                    });
                     // Resume each waiter's scan at the channel it was
                     // parked on: earlier channels stayed satisfied.
                     self.classify(pi, ticket, msg, arrived, channel);
@@ -589,6 +626,35 @@ impl<D: Discipline + Clone> Engine<'_, D> {
         }
 
         rec.delivered_to += 1;
+        let (ev_sender, ev_seq) = (rec.sender, u64::from(rec.seq));
+        let blocked_for = now.saturating_sub(arrived_at);
+        proc.tracer.emit_at(now, || TraceEvent::Delivered {
+            sender: ev_sender,
+            seq: ev_seq,
+            blocked_for,
+            alert4: alerts.instant,
+            alert5: alerts.recent,
+            violation,
+        });
+        // `suspects` approximates the in-flight concurrency X an operator
+        // sees at alert time: the local pending backlog.
+        let suspects = proc.wake.len() as u32;
+        if alerts.instant {
+            proc.tracer.emit_at(now, || TraceEvent::Alert {
+                alg: 4,
+                sender: ev_sender,
+                seq: ev_seq,
+                suspects,
+            });
+        }
+        if alerts.recent {
+            proc.tracer.emit_at(now, || TraceEvent::Alert {
+                alg: 5,
+                sender: ev_sender,
+                seq: ev_seq,
+                suspects,
+            });
+        }
         if rec.measured {
             self.metrics.deliveries += 1;
             self.metrics.exact_violations += u64::from(violation);
@@ -608,7 +674,7 @@ impl<D: Discipline + Clone> Engine<'_, D> {
     }
 
     /// Clones a process's live state into its durable snapshot slot.
-    fn take_snapshot(&mut self, pi: usize) {
+    fn take_snapshot(&mut self, pi: usize, now: u64) {
         let p = &self.procs[pi];
         let snap = Box::new(ProcSnap {
             disc: p.disc.clone(),
@@ -618,6 +684,7 @@ impl<D: Discipline + Clone> Engine<'_, D> {
             eps: p.eps.clone(),
         });
         self.procs[pi].snap = Some(snap);
+        self.procs[pi].tracer.emit_at(now, || TraceEvent::SnapshotTaken);
     }
 
     /// Periodic durable-snapshot pulse: every live process checkpoints.
@@ -628,10 +695,10 @@ impl<D: Discipline + Clone> Engine<'_, D> {
         }
         for pi in 0..self.procs.len() {
             if self.procs[pi].active && !self.procs[pi].crashed {
-                self.take_snapshot(pi);
+                self.take_snapshot(pi, now);
             }
         }
-        self.metrics.snapshots_taken += 1;
+        self.metrics.recovery.snapshots_taken += 1;
     }
 
     /// Restores a crashed process from its last durable snapshot. The
@@ -685,7 +752,8 @@ impl<D: Discipline + Clone> Engine<'_, D> {
         }
         p.crashed = false;
         p.active = true;
-        self.metrics.snapshot_restores += 1;
+        p.tracer.emit_at(now, || TraceEvent::SnapshotRestored);
+        self.metrics.recovery.snapshot_restores += 1;
         if !self.procs[node].send_chain {
             self.schedule_next_send(node as u32, now);
         }
@@ -760,13 +828,13 @@ impl<D: Discipline + Clone> Engine<'_, D> {
         }
         let n = self.procs.len();
         let mut chaos = self.chaos.take().expect("sync pulse in chaos run");
-        self.metrics.sync_requests += 1;
+        self.metrics.recovery.sync_requests += 1;
         let offset = 1 + (chaos.sync_round as usize % (n - 1));
         chaos.sync_round += 1;
         let q = (pi + offset) % n;
         let reachable = self.procs[q].active && chaos.group_of[pi] == chaos.group_of[q];
         if reachable {
-            self.metrics.sync_served += 1;
+            self.metrics.recovery.sync_served += 1;
             let d_ms = chaos.rng.normal_clamped(
                 self.cfg.latency_mean_ms,
                 self.cfg.latency_sigma_ms,
@@ -785,7 +853,12 @@ impl<D: Discipline + Clone> Engine<'_, D> {
                     self.cfg.latency_floor_ms,
                 );
                 self.push(now + ms_to_us(skew), EvKind::Recv { p, msg: midx });
-                self.metrics.refetched += 1;
+                let (sender, seq) = {
+                    let rec = &self.msgs[midx as usize];
+                    (rec.sender, u64::from(rec.seq))
+                };
+                self.procs[pi].tracer.emit_at(now, || TraceEvent::Refetched { sender, seq });
+                self.metrics.recovery.refetched += 1;
                 self.metrics.last_refetch_ms =
                     self.metrics.last_refetch_ms.max(now as f64 / MICROS_PER_MS);
             }
@@ -804,11 +877,28 @@ impl<D: Discipline + Clone> Engine<'_, D> {
 ///
 /// [`SimError::InvalidConfig`] for bad parameters,
 /// [`SimError::Assignment`] if key assignment fails.
-pub fn simulate<D, F>(
+pub fn simulate<D, F>(config: &SimConfig, space: KeySpace, make: F) -> Result<RunMetrics, SimError>
+where
+    D: Discipline + Clone,
+    F: FnMut(ProcessId, KeySet) -> D,
+{
+    simulate_traced(config, space, make).map(|(metrics, _)| metrics)
+}
+
+/// [`simulate`] that also returns the collected lifecycle trace: every
+/// process's ring drained at run end, globally ordered by virtual time
+/// (ties keep per-node emission order — the sort is stable over the
+/// node-order concatenation). Empty unless
+/// [`SimConfig::trace_capacity`] is non-zero.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_traced<D, F>(
     config: &SimConfig,
     space: KeySpace,
     mut make: F,
-) -> Result<RunMetrics, SimError>
+) -> Result<(RunMetrics, Vec<TraceRecord>), SimError>
 where
     D: Discipline + Clone,
     F: FnMut(ProcessId, KeySet) -> D,
@@ -845,6 +935,7 @@ where
                 eps: config.track_epsilon.then(|| EpsilonEstimator::new(n)),
                 seen: (gossip_fanout.is_some() || config.faults.is_some()).then(Vec::new),
                 snap: None,
+                tracer: Tracer::ring(i as u32, config.trace_capacity),
             }
         })
         .collect();
@@ -883,7 +974,7 @@ where
     // and the snapshot/sync pulse chains.
     if engine.chaos.is_some() {
         for pi in 0..n {
-            engine.take_snapshot(pi);
+            engine.take_snapshot(pi, 0);
         }
         let (events, snapshot_us, sync_us) = {
             let c = engine.chaos.as_ref().expect("just set");
@@ -984,7 +1075,12 @@ where
     };
     metrics.wall_secs = started.elapsed().as_secs_f64();
     metrics.virtual_ms = last_time as f64 / MICROS_PER_MS;
-    Ok(metrics)
+    let mut trace: Vec<TraceRecord> = Vec::new();
+    for pr in &mut engine.procs {
+        trace.extend(pr.tracer.drain());
+    }
+    trace.sort_by_key(|r| r.time);
+    Ok((metrics, trace))
 }
 
 /// Convenience: simulate the paper's probabilistic discipline over `space`.
@@ -994,6 +1090,19 @@ where
 /// See [`simulate`].
 pub fn simulate_prob(config: &SimConfig, space: KeySpace) -> Result<RunMetrics, SimError> {
     simulate(config, space, |_, keys| pcb_broadcast::ProbDiscipline::new(keys))
+}
+
+/// Convenience: [`simulate_traced`] over the paper's probabilistic
+/// discipline.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_prob_traced(
+    config: &SimConfig,
+    space: KeySpace,
+) -> Result<(RunMetrics, Vec<TraceRecord>), SimError> {
+    simulate_traced(config, space, |_, keys| pcb_broadcast::ProbDiscipline::new(keys))
 }
 
 /// Convenience: probabilistic discipline with the Algorithm 5 detector

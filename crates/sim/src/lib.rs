@@ -41,12 +41,12 @@ pub mod wake;
 pub use config::{ChurnModel, Dissemination, LatencyDistribution, LossModel, SimConfig};
 pub use engine::{
     simulate, simulate_fifo, simulate_immediate, simulate_prob, simulate_prob_detecting,
-    simulate_vector, SimError,
+    simulate_prob_traced, simulate_traced, simulate_vector, SimError,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkFaults, PlanParseError};
 pub use metrics::RunMetrics;
 pub use oracle::{EpsilonEstimator, EpsilonOutcome, ExactChecker, StreamOracle, StreamViolation};
-pub use report::{render_csv, render_table};
+pub use report::{render_csv, render_latency_table, render_table};
 pub use runner::{
     chaos_config, chaos_run, chaos_run_vector, epsilon_validation, figure3, figure3_defaults,
     figure4, figure4_defaults, figure5, figure5_defaults, figure6, figure6_defaults, ChaosOutcome,

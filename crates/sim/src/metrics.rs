@@ -1,6 +1,8 @@
 //! Metrics collected over one simulation run.
 
-use pcb_analysis::{wilson_interval, Welford};
+use pcb_analysis::wilson_interval;
+use pcb_broadcast::Counters;
+use pcb_telemetry::Hist;
 
 /// Everything a run measures. All message-level counters cover only
 /// messages *sent inside the measurement window* (after warm-up, before
@@ -27,10 +29,12 @@ pub struct RunMetrics {
     /// Measured messages that never reached some process (gossip only;
     /// always 0 under direct dissemination).
     pub undelivered: u64,
-    /// End-to-end delivery latency (receive→deliver wait included), ms.
-    pub delay_ms: Welford,
+    /// End-to-end delivery latency (receive→deliver wait included), ms —
+    /// log-bucketed so the tail (p50/p90/p99) is reported, not just the
+    /// mean.
+    pub delay_ms: Hist,
     /// Time spent blocked in the pending queue (delivery minus arrival), ms.
-    pub blocking_ms: Welford,
+    pub blocking_ms: Hist,
     /// High-water mark of any process's pending queue.
     pub pending_peak: usize,
     /// Total control-information bytes attached to measured messages.
@@ -56,16 +60,9 @@ pub struct RunMetrics {
     pub crashes: u64,
     /// Recover faults executed (chaos runs).
     pub recoveries: u64,
-    /// Recoveries that resumed from a durable snapshot.
-    pub snapshot_restores: u64,
-    /// Snapshot pulses taken across all nodes.
-    pub snapshots_taken: u64,
-    /// Anti-entropy sync probes issued.
-    pub sync_requests: u64,
-    /// Sync probes that reached a live, reachable peer and were served.
-    pub sync_served: u64,
-    /// Messages re-fetched through anti-entropy.
-    pub refetched: u64,
+    /// Recovery-health counters (syncs, re-fetches, snapshots) — the
+    /// same struct `NodeStatus` embeds, so the two reports cannot drift.
+    pub recovery: Counters,
     /// Frames dropped because sender and receiver were in different
     /// partition groups at arrival time.
     pub partition_dropped: u64,
@@ -162,11 +159,7 @@ impl RunMetrics {
         self.wake_wakeups += other.wake_wakeups;
         self.crashes += other.crashes;
         self.recoveries += other.recoveries;
-        self.snapshot_restores += other.snapshot_restores;
-        self.snapshots_taken += other.snapshots_taken;
-        self.sync_requests += other.sync_requests;
-        self.sync_served += other.sync_served;
-        self.refetched += other.refetched;
+        self.recovery.merge(&other.recovery);
         self.partition_dropped += other.partition_dropped;
         self.link_dropped += other.link_dropped;
         self.corrupted_frames += other.corrupted_frames;

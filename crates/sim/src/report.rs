@@ -38,18 +38,59 @@ pub fn render_table(
     out
 }
 
+/// Renders the latency distributions of sweep points: one row per point
+/// with p50/p90/p99/max of end-to-end delay and pending-queue blocking,
+/// from the log-bucketed histograms in `RunMetrics`.
+///
+/// `label` names the swept axis and `axis` extracts its display value.
+#[must_use]
+pub fn render_latency_table(
+    title: &str,
+    label: &str,
+    points: &[SweepPoint],
+    axis: impl Fn(&SweepPoint) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title} — latency quantiles (ms)");
+    let _ = writeln!(
+        out,
+        "{label:>10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "K", "dly_p50", "dly_p90", "dly_p99", "dly_max", "blk_p50", "blk_p90", "blk_p99", "blk_max"
+    );
+    for p in points {
+        let d = &p.metrics.delay_ms;
+        let b = &p.metrics.blocking_ms;
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            axis(p),
+            p.k,
+            d.p50(),
+            d.p90(),
+            d.p99(),
+            d.max(),
+            b.p50(),
+            b.p90(),
+            b.p99(),
+            b.max(),
+        );
+    }
+    out
+}
+
 /// Renders sweep points as CSV with a fixed header.
 #[must_use]
 pub fn render_csv(points: &[SweepPoint]) -> String {
     let mut out = String::from(
         "n,k,lambda_ms,concurrency,theory_p_error,violation_rate,ci_low,ci_high,\
          deliveries,violations,alg4_alerts,alg5_alerts,mean_delay_ms,mean_blocking_ms,\
+         p50_delay_ms,p99_delay_ms,p50_blocking_ms,p99_blocking_ms,\
          pending_peak,stuck\n",
     );
     for p in points {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             p.n,
             p.k,
             p.lambda_ms,
@@ -64,6 +105,10 @@ pub fn render_csv(points: &[SweepPoint]) -> String {
             p.metrics.alg5_alerts,
             p.metrics.delay_ms.mean(),
             p.metrics.blocking_ms.mean(),
+            p.metrics.delay_ms.p50(),
+            p.metrics.delay_ms.p99(),
+            p.metrics.blocking_ms.p50(),
+            p.metrics.blocking_ms.p99(),
             p.metrics.pending_peak,
             p.metrics.stuck,
         );
@@ -74,7 +119,36 @@ pub fn render_csv(points: &[SweepPoint]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::RunMetrics;
     use crate::runner::figure3;
+
+    /// A hand-built point with fully known contents, for golden tests.
+    fn fixed_point() -> SweepPoint {
+        let mut metrics = RunMetrics {
+            deliveries: 64,
+            exact_violations: 2,
+            alg4_alerts: 3,
+            alg5_alerts: 1,
+            pending_peak: 5,
+            stuck: 0,
+            ..RunMetrics::default()
+        };
+        // 1..=64 ms uniformly: median 32, max 64 (up to bucket width).
+        for i in 1..=64 {
+            metrics.delay_ms.push(f64::from(i));
+            metrics.blocking_ms.push(f64::from(i) / 4.0);
+        }
+        SweepPoint {
+            n: 8,
+            k: 2,
+            lambda_ms: 250.0,
+            concurrency: 1.5,
+            theory_p_error: 0.001,
+            violation_rate: 2.0 / 64.0,
+            violation_ci: (0.01, 0.09),
+            metrics,
+        }
+    }
 
     #[test]
     fn table_and_csv_render() {
@@ -90,6 +164,59 @@ mod tests {
         let header = lines.next().unwrap();
         assert!(header.starts_with("n,k,lambda_ms"));
         assert_eq!(lines.count(), 2);
-        assert_eq!(csv.lines().nth(1).unwrap().split(',').count(), 16);
+        assert_eq!(csv.lines().nth(1).unwrap().split(',').count(), 20);
+    }
+
+    #[test]
+    fn csv_golden_row() {
+        let csv = render_csv(&[fixed_point()]);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 20);
+        let row: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(&row[..4], &["8", "2", "250", "1.5"]);
+        assert_eq!(row[8], "64", "deliveries");
+        assert_eq!(row[9], "2", "violations");
+        // Quantile columns: log-bucketed, so only bracket them.
+        let p50_delay: f64 = row[14].parse().unwrap();
+        let p99_delay: f64 = row[15].parse().unwrap();
+        assert!((28.0..=40.0).contains(&p50_delay), "p50 near 32, got {p50_delay}");
+        assert!((56.0..=64.0).contains(&p99_delay), "p99 near 64, got {p99_delay}");
+        assert!(p50_delay <= p99_delay);
+        assert_eq!(&row[18..], &["5", "0"], "pending_peak,stuck");
+    }
+
+    #[test]
+    fn latency_table_golden() {
+        let table = render_latency_table("Demo", "N", &[fixed_point()], |p| p.n.to_string());
+        let mut lines = table.lines();
+        assert_eq!(lines.next().unwrap(), "# Demo — latency quantiles (ms)");
+        let header = lines.next().unwrap();
+        for col in ["dly_p50", "dly_p99", "blk_p50", "blk_max"] {
+            assert!(header.contains(col), "missing column {col}");
+        }
+        let row = lines.next().unwrap();
+        let fields: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(fields.len(), 10);
+        assert_eq!(fields[0], "8");
+        assert_eq!(fields[1], "2");
+        let dly: Vec<f64> = fields[2..6].iter().map(|f| f.parse().unwrap()).collect();
+        assert!(dly.windows(2).all(|w| w[0] <= w[1]), "delay quantiles monotone: {dly:?}");
+        // blocking = delay / 4, bucket error is multiplicative, so the
+        // ratio survives rendering.
+        let blk_max: f64 = fields[9].parse().unwrap();
+        assert!((blk_max - dly[3] / 4.0).abs() < 0.5, "blk_max {blk_max} vs dly_max/4");
+    }
+
+    #[test]
+    fn empty_histograms_render_as_zero() {
+        let mut p = fixed_point();
+        p.metrics.delay_ms = pcb_telemetry::Hist::new();
+        p.metrics.blocking_ms = pcb_telemetry::Hist::new();
+        let csv = render_csv(&[p.clone()]);
+        let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(&row[12..18], &["0", "0", "0", "0", "0", "0"]);
+        let table = render_latency_table("Empty", "N", &[p], |p| p.n.to_string());
+        assert!(table.lines().count() == 3);
     }
 }

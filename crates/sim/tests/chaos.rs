@@ -52,10 +52,10 @@ fn crash_recover_catchup_converges() {
     let m = simulate_prob(&chaos_base(6, 4000.0, 11, plan), space()).unwrap();
     assert_eq!(m.crashes, 1);
     assert_eq!(m.recoveries, 1);
-    assert_eq!(m.snapshot_restores, 1, "recovery must resume from a snapshot");
-    assert!(m.snapshots_taken > 0);
-    assert!(m.refetched > 0, "the restored node must re-fetch missed messages");
-    assert!(m.sync_served > 0);
+    assert_eq!(m.recovery.snapshot_restores, 1, "recovery must resume from a snapshot");
+    assert!(m.recovery.snapshots_taken > 0);
+    assert!(m.recovery.refetched > 0, "the restored node must re-fetch missed messages");
+    assert!(m.recovery.sync_served > 0);
     assert_eq!(m.undelivered, 0, "all survivors must converge: {m:?}");
     assert_eq!(m.stuck, 0, "no message may stay blocked forever: {m:?}");
 }
@@ -70,7 +70,7 @@ fn three_way_partition_heals_with_zero_lost_streams() {
         .with_event(2500.0, FaultKind::PartitionEnd);
     let m = simulate_vector(&chaos_base(9, 5000.0, 23, plan)).unwrap();
     assert!(m.partition_dropped > 0, "the partition must actually cut traffic");
-    assert!(m.refetched > 0, "healing must catch up via anti-entropy");
+    assert!(m.recovery.refetched > 0, "healing must catch up via anti-entropy");
     assert_eq!(m.undelivered, 0, "zero lost streams after heal: {m:?}");
     assert_eq!(m.stuck, 0);
     assert_eq!(m.exact_violations, 0, "vector clocks must stay causally exact: {m:?}");

@@ -1,0 +1,109 @@
+//! End-to-end trace acceptance: a seeded chaos run on the colliding
+//! `(16, 2)` clock must yield an explainable story — missing predecessor
+//! plus a non-empty concurrent covering set — for EVERY exact-checker
+//! violation, via the serialized JSONL form.
+
+use pcb_clock::KeySpace;
+use pcb_sim::{chaos_config, simulate_prob_traced, SimConfig};
+use pcb_telemetry::{explain, parse_jsonl, write_jsonl, ExplainMode, TraceRecord};
+
+fn traced_chaos(seed: u64) -> (u64, Vec<TraceRecord>) {
+    let mut cfg = chaos_config(seed, 9, 4000.0);
+    cfg.trace_capacity = 1 << 20;
+    let space = KeySpace::new(16, 2).expect("(16,2) is a valid space");
+    let (metrics, trace) = simulate_prob_traced(&cfg, space).expect("chaos run");
+    (metrics.exact_violations, trace)
+}
+
+#[test]
+fn every_chaos_violation_gets_a_complete_story() {
+    let (violations, trace) = traced_chaos(3);
+    assert!(violations > 0, "seed 3 must actually produce violations to explain");
+
+    // Through the file format, as an operator would consume it.
+    let reparsed = parse_jsonl(&write_jsonl(&trace)).expect("round trip");
+    assert_eq!(reparsed, trace);
+
+    let report = explain(&reparsed, ExplainMode::Violations);
+    assert_eq!(report.violations, violations, "trace flags must match RunMetrics");
+    assert_eq!(report.skipped_unknown, 0, "ring was large enough for the whole run");
+    assert_eq!(report.explanations.len() as u64, violations);
+    for e in &report.explanations {
+        assert!(e.violation);
+        assert!(
+            !e.missing.is_empty(),
+            "violation at node {} t={} names no missing",
+            e.node,
+            e.time
+        );
+        for m in &e.missing {
+            assert!(
+                !m.covering.is_empty(),
+                "missing p{}#{} at node {} has no concurrent covering message",
+                m.sender,
+                m.seq,
+                e.node
+            );
+        }
+        assert!(e.inflight_x > 0, "a collision needs concurrent traffic in flight");
+    }
+}
+
+#[test]
+fn trace_lifecycle_is_consistent_with_metrics() {
+    let mut cfg = SimConfig {
+        n: 8,
+        mean_send_interval_ms: 120.0,
+        duration_ms: 2500.0,
+        warmup_ms: 0.0,
+        seed: 11,
+        track_exact: true,
+        ..SimConfig::default()
+    };
+    cfg.trace_capacity = 1 << 18;
+    let space = KeySpace::new(16, 2).unwrap();
+    let (metrics, trace) = simulate_prob_traced(&cfg, space).unwrap();
+
+    assert!(trace.windows(2).all(|w| w[0].time <= w[1].time), "merged trace is time-sorted");
+    let count = |name: &str| trace.iter().filter(|r| r.event.name() == name).count() as u64;
+    assert_eq!(count("Sent"), metrics.sent, "one Sent per measured broadcast");
+    assert_eq!(count("Delivered"), metrics.deliveries, "one Delivered per delivery");
+    assert_eq!(count("Alert"), metrics.alg4_alerts + metrics.alg5_alerts);
+    let violations_flagged = trace
+        .iter()
+        .filter(|r| matches!(r.event, pcb_telemetry::TraceEvent::Delivered { violation: true, .. }))
+        .count() as u64;
+    assert_eq!(violations_flagged, metrics.exact_violations);
+    // Every Parked eventually has a matching Woken (liveness: nothing
+    // stays stuck under direct dissemination).
+    assert_eq!(metrics.stuck, 0);
+    assert!(count("Parked") <= count("Received"));
+
+    // Blocking histogram agrees with the trace's blocked_for field.
+    let blocked: Vec<u64> = trace
+        .iter()
+        .filter_map(|r| match r.event {
+            pcb_telemetry::TraceEvent::Delivered { blocked_for, .. } => Some(blocked_for),
+            _ => None,
+        })
+        .collect();
+    let positive = blocked.iter().filter(|&&b| b > 0).count() as u64;
+    assert_eq!(metrics.blocking_ms.count(), metrics.deliveries);
+    assert!(positive > 0, "some deliveries must actually have blocked");
+}
+
+#[test]
+fn zero_capacity_emits_nothing() {
+    let cfg = SimConfig {
+        n: 6,
+        mean_send_interval_ms: 200.0,
+        duration_ms: 1000.0,
+        warmup_ms: 0.0,
+        seed: 5,
+        ..SimConfig::default()
+    };
+    let space = KeySpace::new(16, 2).unwrap();
+    let (metrics, trace) = simulate_prob_traced(&cfg, space).unwrap();
+    assert!(metrics.deliveries > 0);
+    assert!(trace.is_empty(), "trace_capacity 0 disables the rings");
+}

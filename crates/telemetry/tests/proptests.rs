@@ -1,0 +1,130 @@
+//! Property tests: histogram merge semantics and trace serialization.
+
+use pcb_telemetry::{parse_jsonl, write_jsonl, Hist, TraceEvent, TraceRecord};
+use proptest::prelude::*;
+
+fn hist_of(xs: &[f64]) -> Hist {
+    let mut h = Hist::new();
+    for &x in xs {
+        h.push(x);
+    }
+    h
+}
+
+/// One random trace record, all nine event kinds reachable.
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    let fields = (
+        0u8..9,                                            // kind selector
+        (0u64..1 << 40, 0u32..1024),                       // (time, node)
+        (0u32..1024, 1u64..1 << 40),                       // message id (sender, seq)
+        collection::vec((0u32..256, 0u64..1 << 30), 0..4), // keys + key_vals
+        (0u32..256, 0u64..1 << 30),                        // (entry, threshold)
+        (any::<bool>(), any::<bool>(), any::<bool>()),     // delivery flags
+        0u32..1 << 20,                                     // suspects
+    );
+    fields.prop_map(|(kind, (time, node), (sender, seq), kv, (entry, threshold), flags, sus)| {
+        let keys: Vec<u32> = kv.iter().map(|&(k, _)| k).collect();
+        let key_vals: Vec<u64> = kv.iter().map(|&(_, v)| v).collect();
+        let event = match kind {
+            0 => TraceEvent::Sent { sender, seq, keys, key_vals },
+            1 => TraceEvent::Received { sender, seq },
+            2 => TraceEvent::Parked { sender, seq, entry, threshold },
+            3 => TraceEvent::Woken { sender, seq, entry },
+            4 => TraceEvent::Delivered {
+                sender,
+                seq,
+                blocked_for: threshold,
+                alert4: flags.0,
+                alert5: flags.1,
+                violation: flags.2,
+            },
+            5 => TraceEvent::Alert { alg: if flags.0 { 4 } else { 5 }, sender, seq, suspects: sus },
+            6 => TraceEvent::Refetched { sender, seq },
+            7 => TraceEvent::SnapshotTaken,
+            _ => TraceEvent::SnapshotRestored,
+        };
+        TraceRecord { time, node, event }
+    })
+}
+
+proptest! {
+    /// Merging two histograms preserves the total count, the exact sum,
+    /// and the exact min/max.
+    #[test]
+    fn merge_preserves_count_sum_extrema(
+        a in collection::vec(1e-6f64..1e6, 0..200),
+        b in collection::vec(1e-6f64..1e6, 0..200),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let union: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let direct = hist_of(&union);
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert!((merged.sum() - direct.sum()).abs() <= 1e-9 * direct.sum().abs());
+        if merged.count() > 0 {
+            prop_assert_eq!(merged.min(), direct.min());
+            prop_assert_eq!(merged.max(), direct.max());
+        }
+    }
+
+    /// Merge is bucket-exact: merging the parts gives bit-identical
+    /// quantiles to pushing the union into one histogram.
+    #[test]
+    fn merge_equals_union(
+        a in collection::vec(1e-6f64..1e6, 1..200),
+        b in collection::vec(1e-6f64..1e6, 1..200),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let union: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let direct = hist_of(&union);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q).to_bits(), direct.quantile(q).to_bits());
+        }
+    }
+
+    /// Quantiles never escape the exact `[min, max]` envelope and are
+    /// monotone in `q`.
+    #[test]
+    fn quantiles_bounded_and_monotone(
+        xs in collection::vec(1e-6f64..1e6, 1..300),
+        mut qs in collection::vec(0.001f64..1.0, 2..8),
+    ) {
+        let h = hist_of(&xs);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(0.0f64, f64::max);
+        qs.sort_by(f64::total_cmp);
+        let vals: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for &v in &vals {
+            prop_assert!(v >= lo && v <= hi, "quantile {v} outside [{lo}, {hi}]");
+        }
+        prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]), "quantiles not monotone: {vals:?}");
+    }
+
+    /// A quantile estimate brackets the true order statistic: never
+    /// below it, at most one sub-bucket (25%) above.
+    #[test]
+    fn quantile_tracks_order_statistic(
+        mut xs in collection::vec(1e-6f64..1e6, 1..300),
+        q in 0.001f64..1.0,
+    ) {
+        let h = hist_of(&xs);
+        xs.sort_by(f64::total_cmp);
+        let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+        let truth = xs[rank - 1];
+        let est = h.quantile(q);
+        prop_assert!(
+            est >= truth && est <= truth * 1.2500001,
+            "quantile({q}) = {est} vs order statistic {truth}"
+        );
+    }
+
+    /// Every trace event survives the JSONL round trip bit-exactly.
+    #[test]
+    fn jsonl_round_trips(records in collection::vec(arb_record(), 0..50)) {
+        let text = write_jsonl(&records);
+        let back = parse_jsonl(&text).expect("own output must parse");
+        prop_assert_eq!(back, records);
+    }
+}

@@ -9,17 +9,23 @@
 //! transport (Gaussian delay + skew, like the paper's network model).
 //! Replies are sent only after the original was delivered, so they are
 //! causally ordered — every screen shows a question before its answer.
+//!
+//! Tracing is on, so when the colliding `(16, 2)` clock makes Algorithm 4
+//! raise a false alert, the trace replay prints *why*: which concurrent
+//! replies covered the flagged sender's entries.
 
 use std::time::Duration;
 
 use pcb::prelude::*;
+use pcb::telemetry::{explain, ExplainMode};
 
 type Chat = (String, String); // (author, text)
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let users = ["alice", "bob", "carol", "dave", "erin", "frank"];
-    let config =
+    let mut config =
         ClusterConfig { latency: LatencyModel::fast(), ..ClusterConfig::quick(users.len()) };
+    config.process.trace_capacity = 4096;
     let cluster = Cluster::<Chat>::start(config)?;
 
     // Alice asks; everyone else answers after *seeing* the question.
@@ -69,6 +75,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{user:>6}: sent={} delivered={} pending={} clock={}",
             status.stats.sent, status.stats.delivered, status.pending, status.clock
         );
+    }
+
+    // Replay the lifecycle trace: every Alg-4 alert gets its causal
+    // story — for these false alarms, the concurrent replies whose
+    // increments covered the flagged sender's entries.
+    let report = explain(&cluster.drain_traces(), ExplainMode::Alerts);
+    if !report.explanations.is_empty() {
+        println!();
+        println!("why Algorithm 4 alerted (trace replay):");
+        for e in &report.explanations {
+            print!("{e}");
+        }
     }
 
     cluster.shutdown();

@@ -11,7 +11,8 @@
 //! transport that drops 30% of deliveries, nodes that notice stale
 //! pending messages, sync requests answered from peers' recent-message
 //! stores, and a cluster that converges to complete causal delivery
-//! anyway.
+//! anyway — with a metrics-dump thread exposing the recovery churn as
+//! Prometheus text along the way.
 
 use std::time::{Duration, Instant};
 
@@ -25,6 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cluster of {n} nodes, {:.0}% delivery loss, anti-entropy enabled", loss * 100.0);
     let cluster =
         Cluster::<String>::start(pcb::runtime::ClusterConfig::lossy_with_recovery(n, loss))?;
+
+    // Periodic Prometheus exposition: keep the latest page (a real
+    // deployment would serve it over HTTP or append it to a file).
+    let latest_page = std::sync::Arc::new(std::sync::Mutex::new(String::new()));
+    let sink_page = std::sync::Arc::clone(&latest_page);
+    let dump = cluster.spawn_metrics_dump(Duration::from_millis(100), move |page| {
+        *sink_page.lock().unwrap() = page;
+    });
 
     for k in 0..per_node {
         for i in 0..n {
@@ -60,10 +69,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let s = cluster.node(i).status().ok_or("node down")?;
         println!(
             "{:>6} {:>10} {:>9} {:>14} {:>10}",
-            i, s.stats.delivered, s.pending, s.sync_requests, s.recovered
+            i, s.stats.delivered, s.pending, s.recovery.sync_requests, s.recovered
         );
         total_recovered += s.recovered;
     }
+    let totals = cluster.recovery_totals();
+    dump.stop();
+
+    println!();
+    println!("last Prometheus scrape (recovery lines):");
+    for line in latest_page.lock().unwrap().lines() {
+        if line.contains("sync") || line.contains("refetched") {
+            println!("  {line}");
+        }
+    }
+    println!(
+        "cluster totals: {} sync requests, {} served, {} messages re-fetched",
+        totals.sync_requests, totals.sync_served, totals.refetched
+    );
     cluster.shutdown();
 
     println!();

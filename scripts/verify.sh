@@ -5,6 +5,7 @@
 #   scripts/verify.sh          # tier-1 + workspace tests + fmt + clippy
 #   scripts/verify.sh --tier1  # just the tier-1 gate (what CI enforces)
 #   scripts/verify.sh --chaos  # the above plus a deterministic chaos soak
+#   scripts/verify.sh --trace  # the above plus the observability gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +46,18 @@ fi
 # with scripts/replay.sh <seed>.
 if [[ "${1:-}" == "--chaos" ]]; then
     run cargo run --release -p pcb-bench --bin chaos_soak
+fi
+
+# Optional observability stage: (1) every exact-checker violation in a
+# seeded chaos sweep must be explainable from its trace — named missing
+# predecessor plus a non-empty concurrent covering set; (2) the disabled
+# trace sink must keep the pending-wakeup cascade within 5% of the
+# untraced baseline; (3) the telemetry crate must build and pass with
+# the `trace` feature compiled out.
+if [[ "${1:-}" == "--trace" ]]; then
+    run cargo run --release -p pcb-bench --bin trace_explain -- --verify
+    run cargo run --release -p pcb-bench --bin telemetry_overhead
+    run cargo test -p pcb-telemetry --no-default-features -q
 fi
 
 echo "verify: OK"

@@ -28,6 +28,7 @@
 //! | [`sim`](pcb_sim) | the paper's event-driven evaluation (§5.4), ground-truth oracle, figure sweeps |
 //! | [`runtime`](pcb_runtime) | live threaded cluster over crossbeam channels |
 //! | [`analysis`](pcb_analysis) | `P_error(R,K,X)`, `K_min = ln2·R/X`, parameter planning |
+//! | [`telemetry`](pcb_telemetry) | lifecycle traces, alert explanation, latency histograms, Prometheus text |
 //!
 //! ## Quickstart
 //!
@@ -62,6 +63,7 @@ pub use pcb_clock as clock;
 pub use pcb_crdt as crdt;
 pub use pcb_runtime as runtime;
 pub use pcb_sim as sim;
+pub use pcb_telemetry as telemetry;
 
 /// One-stop imports for applications.
 pub mod prelude {
