@@ -13,6 +13,7 @@
 
 use pcb_broadcast::{MergeProbDiscipline, ProbDiscipline};
 use pcb_clock::{AssignmentPolicy, KeySpace};
+use pcb_sim::pool::run_indexed;
 use pcb_sim::{
     simulate, simulate_fifo, simulate_immediate, simulate_prob, simulate_vector, Dissemination,
     LatencyDistribution, RunMetrics, SimConfig,
@@ -42,15 +43,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .with_constant_receive_rate(200.0);
     let space = KeySpace::new(100, 4)?;
 
+    let threads = pcb_bench::threads();
+
     println!("=== 1. Ordering disciplines (N = {n}, X = 20) ===\n");
     println!(
         "{:>22} {:>12} {:>12} {:>12} {:>10}",
         "discipline", "stamp bytes", "violations", "deliveries", "stuck"
     );
-    row("probabilistic(100,4)", 100 * 8, &simulate_prob(&cfg, space)?);
-    row("vector clock", n * 8, &simulate_vector(&cfg)?);
-    row("fifo", 8, &simulate_fifo(&cfg)?);
-    row("no ordering", 0, &simulate_immediate(&cfg)?);
+    // Every run in a section is independent and fully seeded by `cfg`:
+    // fan them out across workers, report in fixed order.
+    let disciplines = run_indexed(threads, 4, |i| match i {
+        0 => simulate_prob(&cfg, space),
+        1 => simulate_vector(&cfg),
+        2 => simulate_fifo(&cfg),
+        _ => simulate_immediate(&cfg),
+    });
+    row("probabilistic(100,4)", 100 * 8, &disciplines[0].clone()?);
+    row("vector clock", n * 8, &disciplines[1].clone()?);
+    row("fifo", 8, &disciplines[2].clone()?);
+    row("no ordering", 0, &disciplines[3].clone()?);
     println!();
 
     println!("=== 2. Record-delivery rule: increment (paper) vs merge ===\n");
@@ -58,10 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>22} {:>12} {:>12} {:>12} {:>10}",
         "variant", "stamp bytes", "violations", "deliveries", "stuck"
     );
-    let inc = simulate(&cfg, space, |_, keys| ProbDiscipline::new(keys))?;
-    let mrg = simulate(&cfg, space, |_, keys| MergeProbDiscipline::new(keys))?;
-    row("increment (Alg 2)", 800, &inc);
-    row("merge-max", 800, &mrg);
+    let variants = run_indexed(threads, 2, |i| match i {
+        0 => simulate(&cfg, space, |_, keys| ProbDiscipline::new(keys)),
+        _ => simulate(&cfg, space, |_, keys| MergeProbDiscipline::new(keys)),
+    });
+    row("increment (Alg 2)", 800, &variants[0].clone()?);
+    row("merge-max", 800, &variants[1].clone()?);
     println!();
 
     println!("=== 3. Key assignment policies ===\n");
@@ -69,13 +82,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>22} {:>12} {:>12} {:>12} {:>10}",
         "policy", "stamp bytes", "violations", "deliveries", "stuck"
     );
-    for (name, policy) in [
+    let policies = [
         ("uniform random", AssignmentPolicy::UniformRandom),
         ("distinct random", AssignmentPolicy::DistinctRandom),
         ("round robin", AssignmentPolicy::RoundRobin),
-    ] {
-        let cfg = SimConfig { policy, ..cfg.clone() };
-        row(name, 800, &simulate_prob(&cfg, space)?);
+    ];
+    let policy_runs = run_indexed(threads, policies.len(), |i| {
+        let cfg = SimConfig { policy: policies[i].1, ..cfg.clone() };
+        simulate_prob(&cfg, space)
+    });
+    for ((name, _), m) in policies.iter().zip(policy_runs) {
+        row(name, 800, &m?);
     }
     println!();
 
@@ -84,11 +101,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>22} {:>12} {:>12} {:>12} {:>10}",
         "transport", "stamp bytes", "violations", "deliveries", "stuck"
     );
-    let direct = simulate_prob(&cfg, space)?;
-    row("direct (reliable)", 800, &direct);
-    for fanout in [4, 8, 12] {
-        let cfg = SimConfig { dissemination: Dissemination::Gossip { fanout }, ..cfg.clone() };
-        let g = simulate_prob(&cfg, space)?;
+    let fanouts = [4, 8, 12];
+    let gossip_runs = run_indexed(threads, fanouts.len() + 1, |i| {
+        if i == 0 {
+            simulate_prob(&cfg, space)
+        } else {
+            let cfg = SimConfig {
+                dissemination: Dissemination::Gossip { fanout: fanouts[i - 1] },
+                ..cfg.clone()
+            };
+            simulate_prob(&cfg, space)
+        }
+    });
+    row("direct (reliable)", 800, &gossip_runs[0].clone()?);
+    for (fanout, g) in fanouts.iter().zip(&gossip_runs[1..]) {
+        let g = g.clone()?;
         row(&format!("gossip fanout={fanout}"), 800, &g);
         println!("{:>22} duplicates = {}, undelivered = {}", "", g.duplicates, g.undelivered);
     }
@@ -99,14 +126,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>22} {:>12} {:>12} {:>12} {:>10}",
         "distribution", "stamp bytes", "violations", "deliveries", "stuck"
     );
-    for (name, dist) in [
+    let distributions = [
         ("gaussian (paper)", LatencyDistribution::Gaussian),
         ("uniform", LatencyDistribution::Uniform),
         ("log-normal", LatencyDistribution::LogNormal),
         ("bimodal (near/far)", LatencyDistribution::Bimodal),
-    ] {
-        let cfg = SimConfig { latency_distribution: dist, ..cfg.clone() };
-        row(name, 800, &simulate_prob(&cfg, space)?);
+    ];
+    let distribution_runs = run_indexed(threads, distributions.len(), |i| {
+        let cfg = SimConfig { latency_distribution: distributions[i].1, ..cfg.clone() };
+        simulate_prob(&cfg, space)
+    });
+    for ((name, _), m) in distributions.iter().zip(distribution_runs) {
+        row(name, 800, &m?);
     }
     println!();
     println!(

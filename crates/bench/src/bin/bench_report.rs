@@ -1,0 +1,259 @@
+//! Machine-readable performance snapshot: measures the hot paths this
+//! repo optimizes and writes them to a JSON trajectory file so each PR's
+//! numbers are comparable to the last.
+//!
+//! ```text
+//! cargo run --release -p pcb-bench --bin bench_report -- \
+//!     [--out BENCH_pr4.json] [--threads N] [--check]
+//! ```
+//!
+//! Sections:
+//!
+//! * `throughput` — endpoint msgs/s through `PcbProcess` broadcast +
+//!   delivery (stamp, wake-up engine, dedup, detectors all included);
+//! * `wire` — bytes/msg of the v2 full-vector frame vs the v3 delta
+//!   chain at `R = 100`, `K ∈ {1..8}`, steady state (cadence 32);
+//! * `sweep` — wall-clock of one figure-3 sweep at 1 thread vs
+//!   `--threads` workers (output is byte-identical either way);
+//! * `pending_wakeup` — per-arrival latency and work counters of the
+//!   entry-indexed wake-up engine on its reversed-FIFO worst case.
+//!
+//! With `--check` the run enforces the regression thresholds from
+//! `scripts/verify.sh --perf` and exits non-zero on any violation:
+//! delta ≤ 0.35× full at `(100, 4)`; 8-thread sweep ≥ 4× 1-thread
+//! (only on ≥ 8 cores); wake-up engine still waking ≤ 1.05 waiters per
+//! delivery with unit fan-out on the FIFO chain (the PR 1 numbers).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bytes::Bytes;
+use pcb_broadcast::{wire, DeltaEncoder, Message, PcbProcess, WakeupIndex};
+use pcb_clock::{AssignmentPolicy, KeyAssigner, KeySpace, ProbClock, ProcessId};
+use pcb_sim::{runner, SweepOptions};
+
+/// A steady-state single-sender stream at `(r, k)`: every third send is
+/// preceded by a foreign delivery so stamps move outside the sender's
+/// own key set too.
+fn stream(r: usize, k: usize, n: usize) -> Vec<Message<Bytes>> {
+    let space = KeySpace::new(r, k).expect("valid space");
+    let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, 7);
+    let keys_a = assigner.next_set().expect("keys");
+    let keys_b = assigner.next_set().expect("keys");
+    let mut a = PcbProcess::new(ProcessId::new(0), keys_a);
+    let mut b = PcbProcess::new(ProcessId::new(1), keys_b);
+    (0..n)
+        .map(|i| {
+            if i % 3 == 2 {
+                let m = b.broadcast(Bytes::new());
+                let _ = a.on_receive(m, i as u64);
+            }
+            a.broadcast(Bytes::from(vec![i as u8; i % 5]))
+        })
+        .collect()
+}
+
+/// Mean frame size over the steady-state tail (frames `warmup..n`).
+fn mean_tail(sizes: &[usize], warmup: usize) -> f64 {
+    let tail = &sizes[warmup.min(sizes.len())..];
+    tail.iter().sum::<usize>() as f64 / tail.len().max(1) as f64
+}
+
+struct WirePoint {
+    k: usize,
+    full_bytes: f64,
+    delta_bytes: f64,
+}
+
+impl WirePoint {
+    fn ratio(&self) -> f64 {
+        self.delta_bytes / self.full_bytes
+    }
+}
+
+/// Bytes/msg for v2 full frames vs the v3 delta chain at `(100, k)`.
+fn wire_point(k: usize) -> WirePoint {
+    const N: usize = 256;
+    const WARMUP: usize = 64;
+    let msgs = stream(100, k, N);
+    let full: Vec<usize> = msgs.iter().map(|m| wire::encode(m).len()).collect();
+    let mut encoder = DeltaEncoder::default();
+    let delta: Vec<usize> = msgs.iter().map(|m| encoder.encode(m).len()).collect();
+    WirePoint { k, full_bytes: mean_tail(&full, WARMUP), delta_bytes: mean_tail(&delta, WARMUP) }
+}
+
+/// Endpoint throughput: broadcast `n` messages on one process and
+/// deliver them (in order) on another; msgs/s over the whole pipeline.
+fn throughput(n: usize) -> f64 {
+    let space = KeySpace::new(100, 4).expect("paper space");
+    let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, 11);
+    let mut sender: PcbProcess<Bytes> =
+        PcbProcess::new(ProcessId::new(0), assigner.next_set().expect("keys"));
+    let mut receiver: PcbProcess<Bytes> =
+        PcbProcess::new(ProcessId::new(1), assigner.next_set().expect("keys"));
+    let payload = Bytes::from(vec![0u8; 32]);
+    let start = Instant::now();
+    let mut delivered = 0usize;
+    for i in 0..n {
+        let m = sender.broadcast(payload.clone());
+        delivered += receiver.on_receive(m, i as u64).len();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(delivered, n, "in-order FIFO chain delivers everything");
+    n as f64 / secs
+}
+
+/// Wall-clock of one small figure-3 sweep at the given thread count.
+fn sweep_secs(threads: usize) -> (usize, f64) {
+    let opts =
+        SweepOptions { scale: 0.1 * pcb_bench::scale().max(0.25), seed: 5, reps: 2, threads };
+    let ns = [150, 200];
+    let ks = [2, 4, 6, 8];
+    let jobs = ns.len() * ks.len() * opts.reps;
+    let start = Instant::now();
+    let points = runner::figure3(opts, &ns, &ks).expect("sweep runs");
+    assert_eq!(points.len(), ns.len() * ks.len());
+    (jobs, start.elapsed().as_secs_f64())
+}
+
+struct Wakeup {
+    arrivals: usize,
+    ns_per_arrival: f64,
+    gap_checks: u64,
+    wakeups: u64,
+    max_wake_fanout: u64,
+}
+
+/// The wake-up engine's worst case from PR 1: a single-sender FIFO
+/// chain arriving fully reversed. The indexed engine wakes exactly one
+/// waiter per delivery here; any regression shows up both in the work
+/// counters and in the per-arrival latency.
+fn pending_wakeup(n: usize) -> Wakeup {
+    let space = KeySpace::new(8, 2).expect("valid space");
+    let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, 3);
+    let mut sender: PcbProcess<Bytes> =
+        PcbProcess::new(ProcessId::new(0), assigner.next_set().expect("keys"));
+    let mut arrivals: Vec<Message<Bytes>> =
+        (0..n).map(|i| sender.broadcast(Bytes::from(vec![i as u8; 8]))).collect();
+    arrivals.reverse();
+
+    let mut clock = ProbClock::new(space);
+    let mut index = WakeupIndex::new(clock.len());
+    let mut delivered = 0usize;
+    let start = Instant::now();
+    for (t, m) in arrivals.iter().enumerate() {
+        index.insert(t as u64, m.clone(), &clock);
+        while let Some(d) = index.pop_ready() {
+            clock.record_delivery(d.keys());
+            let advanced: Vec<usize> = d.keys().iter().collect();
+            delivered += 1;
+            index.on_clock_advance(advanced, &clock);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(delivered, n, "the reversed chain fully delivers");
+    let stats = index.stats();
+    Wakeup {
+        arrivals: n,
+        ns_per_arrival: secs * 1e9 / n as f64,
+        gap_checks: stats.gap_checks,
+        wakeups: stats.wakeups,
+        max_wake_fanout: stats.max_wake_fanout,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let threads = pcb_bench::threads();
+    let cores = pcb_sim::pool::default_threads();
+
+    pcb_bench::banner("bench_report", "perf trajectory snapshot (wire, sweep, wake-up)");
+
+    eprintln!("measuring endpoint throughput ...");
+    let msgs_per_sec = throughput(20_000);
+
+    eprintln!("measuring wire sizes at R = 100, K = 1..8 ...");
+    let wire_points: Vec<WirePoint> = (1..=8).map(wire_point).collect();
+    let ratio_at_k4 = wire_points[3].ratio();
+
+    eprintln!("timing the figure-3 sweep at 1 vs {threads} thread(s) ...");
+    let (jobs, secs_1) = sweep_secs(1);
+    let (_, secs_n) = sweep_secs(threads);
+    let speedup = secs_1 / secs_n;
+
+    eprintln!("measuring the pending-wakeup cascade ...");
+    let wakeup = pending_wakeup(2000);
+    let wakeups_per_delivery = wakeup.wakeups as f64 / wakeup.arrivals as f64;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"throughput\": {{ \"messages\": 20000, \"msgs_per_sec\": {msgs_per_sec:.0} }},"
+    );
+    let _ = writeln!(json, "  \"wire\": {{");
+    let _ = writeln!(json, "    \"r\": 100,");
+    let _ = writeln!(json, "    \"full_every\": 32,");
+    let _ = writeln!(json, "    \"ratio_at_k4\": {ratio_at_k4:.4},");
+    let _ = writeln!(json, "    \"points\": [");
+    for (i, p) in wire_points.iter().enumerate() {
+        let comma = if i + 1 < wire_points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"k\": {}, \"full_bytes_per_msg\": {:.1}, \"delta_bytes_per_msg\": {:.1}, \"ratio\": {:.4} }}{comma}",
+            p.k, p.full_bytes, p.delta_bytes, p.ratio()
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"sweep\": {{ \"jobs\": {jobs}, \"wall_secs_1_thread\": {secs_1:.3}, \"wall_secs_n_threads\": {secs_n:.3}, \"speedup\": {speedup:.2} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"pending_wakeup\": {{ \"arrivals\": {}, \"ns_per_arrival\": {:.0}, \"gap_checks\": {}, \"wakeups\": {}, \"wakeups_per_delivery\": {wakeups_per_delivery:.3}, \"max_wake_fanout\": {} }}",
+        wakeup.arrivals, wakeup.ns_per_arrival, wakeup.gap_checks, wakeup.wakeups, wakeup.max_wake_fanout
+    );
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out, &json)?;
+    println!("{json}");
+    println!("wrote {out}");
+
+    if check {
+        let mut failures = Vec::new();
+        if ratio_at_k4 > 0.35 {
+            failures.push(format!("delta ratio at (100,4) is {ratio_at_k4:.3}, budget is 0.35"));
+        }
+        if cores >= 8 && threads >= 8 && speedup < 4.0 {
+            failures.push(format!("sweep speedup at {threads} threads is {speedup:.2}x, need 4x"));
+        } else if cores < 8 {
+            println!("speedup gate skipped: {cores} core(s) < 8");
+        }
+        if wakeups_per_delivery > 1.05 || wakeup.max_wake_fanout > 1 {
+            failures.push(format!(
+                "wake-up engine regressed: {wakeups_per_delivery:.3} wakeups/delivery \
+                 (fanout {}), PR 1 delivers 1.000 (fanout 1)",
+                wakeup.max_wake_fanout
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("PERF REGRESSION: {f}");
+            }
+            return Err("perf check failed".into());
+        }
+        println!("perf check: OK");
+    }
+    Ok(())
+}

@@ -4,7 +4,7 @@
 //! safety oracle records an undetected causal violation.
 //!
 //! ```text
-//! cargo run --release -p pcb-bench --bin chaos_soak -- [seed [n [duration_ms]]]
+//! cargo run --release -p pcb-bench --bin chaos_soak -- [seed [n [duration_ms]]] [--threads T]
 //! ```
 //!
 //! Every run prints the plan in its replayable text form; to re-run a
@@ -32,10 +32,7 @@ fn report(label: &str, outcome: &ChaosOutcome) {
     );
 }
 
-fn soak(seed: u64, n: usize, duration_ms: f64) -> Result<bool, Box<dyn std::error::Error>> {
-    let space = KeySpace::new(100, 4)?;
-    let prob = chaos_run(seed, n, duration_ms, space)?;
-    let vector = chaos_run_vector(seed, n, duration_ms)?;
+fn soak(seed: u64, n: usize, duration_ms: f64, prob: ChaosOutcome, vector: ChaosOutcome) -> bool {
     println!("seed {seed} (n = {n}, {duration_ms} ms):");
     for line in prob.plan.to_text().lines() {
         println!("    | {line}");
@@ -60,11 +57,18 @@ fn soak(seed: u64, n: usize, duration_ms: f64) -> Result<bool, Box<dyn std::erro
         println!("  FAIL: probabilistic run did not converge");
         ok = false;
     }
-    Ok(ok)
+    ok
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Positional args, with the shared --threads flag filtered out.
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    while let Some(pos) = args.iter().position(|a| a.starts_with("--threads")) {
+        args.remove(pos);
+        if pos < args.len() && !args[pos].starts_with("--") && args[pos].parse::<usize>().is_ok() {
+            args.remove(pos); // the flag's separate value
+        }
+    }
     let n: usize = args.get(1).map_or(Ok(9), |s| s.parse())?;
     let duration_ms: f64 = args.get(2).map_or(Ok(4000.0), |s| s.parse())?;
     let seeds: Vec<u64> = match args.first() {
@@ -73,9 +77,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     pcb_bench::banner("Chaos soak", "seeded fault plans, replayed under prob and vector");
+    // Each (seed, discipline) run is independent and fully determined by
+    // its seed: fan them out, then report in seed order.
+    let space = KeySpace::new(100, 4)?;
+    let runs = pcb_sim::pool::run_indexed(pcb_bench::threads(), seeds.len() * 2, |job| {
+        let seed = seeds[job / 2];
+        if job % 2 == 0 {
+            chaos_run(seed, n, duration_ms, space)
+        } else {
+            chaos_run_vector(seed, n, duration_ms)
+        }
+    });
     let mut all_ok = true;
-    for seed in seeds {
-        all_ok &= soak(seed, n, duration_ms)?;
+    for (i, &seed) in seeds.iter().enumerate() {
+        let prob = runs[i * 2].clone()?;
+        let vector = runs[i * 2 + 1].clone()?;
+        all_ok &= soak(seed, n, duration_ms, prob, vector);
     }
     if !all_ok {
         return Err("chaos soak failed — replay with scripts/replay.sh <seed>".into());

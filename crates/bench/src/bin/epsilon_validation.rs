@@ -19,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scale: pcb_bench::scale().max(0.2),
             seed: pcb_bench::seed(),
             reps: 1,
+            threads: 1,
         },
         n,
     )?;

@@ -28,13 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>8} {:>12} {:>12} {:>14} {:>10}",
         "loss", "violations", "mean delay", "p99-ish (max)", "stuck"
     );
-    for loss_pct in [0.0, 1.0, 5.0, 10.0, 20.0, 40.0] {
+    let loss_rates = [0.0, 1.0, 5.0, 10.0, 20.0, 40.0];
+    // Each loss point is an independent seeded run: fan out, print in order.
+    let runs = pcb_sim::pool::run_indexed(pcb_bench::threads(), loss_rates.len(), |i| {
+        let loss_pct = loss_rates[i];
         let cfg = SimConfig {
             loss: (loss_pct > 0.0)
                 .then(|| LossModel { drop_probability: loss_pct / 100.0, retransmit_ms: 200.0 }),
             ..base.clone()
         };
-        let m = simulate_prob(&cfg, space)?;
+        simulate_prob(&cfg, space)
+    });
+    for (loss_pct, m) in loss_rates.into_iter().zip(runs) {
+        let m = m?;
         println!(
             "{loss_pct:>7}% {:>12.3e} {:>10.1}ms {:>12.1}ms {:>10}",
             m.violation_rate(),

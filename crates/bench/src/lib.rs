@@ -6,6 +6,9 @@
 //!   (default 0.25; `1.0` reproduces the full-length sweeps, `0.05` gives
 //!   a fast smoke run);
 //! * `PCB_SEED` — master seed (default 1);
+//! * `PCB_THREADS` — sweep worker threads (default: all cores; the
+//!   `--threads N` command-line flag overrides it; output is
+//!   byte-identical at any thread count);
 //! * `PCB_CSV_DIR` — if set, each figure also writes `<figN>.csv` there.
 
 use std::path::PathBuf;
@@ -36,10 +39,34 @@ pub fn reps() -> usize {
         .unwrap_or(3)
 }
 
+/// Worker threads for sweep fan-out: `--threads N` (or `--threads=N`) on
+/// the command line, else `PCB_THREADS`, else every available core.
+/// Output is byte-identical at any thread count — this only buys time.
+#[must_use]
+pub fn threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return std::cmp::max(n, 1);
+            }
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse() {
+                return std::cmp::max(n, 1);
+            }
+        }
+    }
+    std::env::var("PCB_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|t: &usize| *t > 0)
+        .unwrap_or_else(pcb_sim::pool::default_threads)
+}
+
 /// Bundles the environment knobs into the runner's [`pcb_sim::SweepOptions`].
 #[must_use]
 pub fn sweep_options() -> pcb_sim::SweepOptions {
-    pcb_sim::SweepOptions { scale: scale(), seed: seed(), reps: reps() }
+    pcb_sim::SweepOptions { scale: scale(), seed: seed(), reps: reps(), threads: threads() }
 }
 
 /// CSV output directory from `PCB_CSV_DIR`, if set.

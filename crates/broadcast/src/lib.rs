@@ -58,4 +58,4 @@ pub use pending::{InsertVerdict, WakeupIndex, WakeupStats};
 pub use process::{Delivery, PcbConfig, PcbProcess, ProcessStats};
 pub use recovery::{Counters, MessageStore, SyncRequest, SyncResponse};
 pub use snapshot::{decode_snapshot, encode_snapshot, ProcessSnapshot};
-pub use wire::{control_size, decode, encode, WireError};
+pub use wire::{control_size, decode, encode, encode_full, DeltaDecoder, DeltaEncoder, WireError};

@@ -13,7 +13,10 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use bytes::Bytes;
+
 use crate::message::{Message, MessageId};
+use crate::wire::{DeltaDecoder, WireError};
 
 /// Recovery-health counters shared by every layer that reports them.
 ///
@@ -58,6 +61,10 @@ pub struct MessageStore<P> {
     /// id; subtract `base` to index `entries`.
     index: HashMap<MessageId, u64>,
     base: u64,
+    /// Per-sender reconstruction stamps for the v3 delta wire format:
+    /// the store is the long-lived per-node receive state, so it is where
+    /// delta chains are resolved (see [`MessageStore::decode_frame`]).
+    codec: DeltaDecoder,
 }
 
 impl<P> MessageStore<P> {
@@ -65,7 +72,19 @@ impl<P> MessageStore<P> {
     /// few propagation delays, like the Algorithm 5 list).
     #[must_use]
     pub fn new(window: u64) -> Self {
-        Self { window, entries: VecDeque::new(), index: HashMap::new(), base: 0 }
+        Self {
+            window,
+            entries: VecDeque::new(),
+            index: HashMap::new(),
+            base: 0,
+            codec: DeltaDecoder::new(),
+        }
+    }
+
+    /// The per-sender delta reconstruction state (for inspection).
+    #[must_use]
+    pub fn codec(&self) -> &DeltaDecoder {
+        &self.codec
     }
 
     /// Records a message (own broadcasts *and* deliveries both belong
@@ -159,6 +178,24 @@ pub struct SyncResponse<P> {
     /// Missing messages, oldest first; replay them through
     /// `PcbProcess::on_receive`.
     pub messages: Vec<Message<P>>,
+}
+
+impl MessageStore<Bytes> {
+    /// Decodes a wire frame (v2, v3 full, or v3 delta) against this
+    /// store's per-sender reconstruction stamps and retains the decoded
+    /// message for anti-entropy, returning it for delivery.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]. [`WireError::MissingDeltaBase`] means the store
+    /// has no base for the delta chain (late joiner, or the chain head
+    /// was lost) — issue a sync request; peers re-serve messages as
+    /// standalone full frames.
+    pub fn decode_frame(&mut self, now: u64, frame: Bytes) -> Result<Message<Bytes>, WireError> {
+        let message = self.codec.decode(frame)?;
+        self.insert(now, message.clone());
+        Ok(message)
+    }
 }
 
 impl<P: Clone> MessageStore<P> {
@@ -302,5 +339,41 @@ mod tests {
         let ProcessStats { duplicates, delivered, .. } = p_k.stats();
         assert_eq!(duplicates, 1);
         assert_eq!(delivered, 1);
+    }
+
+    #[test]
+    fn decode_frame_feeds_the_store_and_the_delta_chain() {
+        use crate::wire::{self, DeltaEncoder};
+        use bytes::Bytes;
+
+        let space = KeySpace::new(8, 2).unwrap();
+        let mut sender: PcbProcess<Bytes> =
+            PcbProcess::new(ProcessId::new(0), KeySet::from_entries(space, &[1, 3]).unwrap());
+        let msgs: Vec<_> =
+            (0..6u64).map(|i| sender.broadcast(Bytes::from(i.to_be_bytes().to_vec()))).collect();
+        let mut encoder = DeltaEncoder::new(u64::MAX); // one full, then deltas
+
+        let mut store: MessageStore<Bytes> = MessageStore::new(1000);
+        let frames: Vec<Bytes> = msgs.iter().map(|m| encoder.encode(m)).collect();
+
+        // The store misses the chain head: the first delta names its base.
+        match store.decode_frame(0, frames[1].clone()) {
+            Err(WireError::MissingDeltaBase { sender, base_seq }) => {
+                assert_eq!((sender, base_seq), (0, 1));
+            }
+            other => panic!("expected MissingDeltaBase, got {other:?}"),
+        }
+        assert!(store.is_empty(), "a refused frame must not touch the store");
+
+        // Refetch the full frame (what a sync peer re-serves), then the
+        // rest of the chain decodes and lands in the store.
+        store.decode_frame(0, wire::encode_full(&msgs[0])).unwrap();
+        for (t, frame) in frames.iter().enumerate().skip(1) {
+            let m = store.decode_frame(t as u64, frame.clone()).unwrap();
+            assert_eq!(wire::encode(&m), wire::encode(&msgs[t]));
+        }
+        assert_eq!(store.len(), msgs.len());
+        assert_eq!(store.codec().tracked_senders(), 1);
+        assert_eq!(store.get(msgs[5].id()).unwrap().timestamp(), msgs[5].timestamp());
     }
 }

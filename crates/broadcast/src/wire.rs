@@ -2,7 +2,7 @@
 //!
 //! The paper's argument is about *control-information bytes on the wire*,
 //! so the library ships a real codec rather than hand-waving sizes. The
-//! format is deliberately simple and self-contained:
+//! baseline (version 2) format is deliberately simple and self-contained:
 //!
 //! ```text
 //! u8   version (= 2)
@@ -19,13 +19,41 @@
 //! paper's "few integer timestamps"; entries grow logarithmically with
 //! traffic. Decoding recomputes the key set from `set_id` via Algorithm 3.
 //!
+//! **Version 3** adds a *delta* encoding. Algorithm 1 changes only the
+//! sender's `K` entries between consecutive sends (plus whatever its
+//! delivery rule incremented), so a frame rarely needs all `R` entries:
+//!
+//! ```text
+//! full frame (kind = 0): standalone, self-describing
+//!   u8 3 | u8 0 | uvar sender | uvar seq | uvar R | uvar K
+//!   u128 set_id | uvar × R entries | uvar payload_len, payload | u64 fnv
+//!
+//! delta frame (kind = 1): relative to the sender's frame `base_seq`
+//!   u8 3 | u8 1 | uvar sender | uvar seq | uvar base_seq | uvar count
+//!   (uvar index_gap, uvar increase) × count      -- both deltas ≥ small
+//!   uvar payload_len, payload | u64 fnv
+//! ```
+//!
+//! A delta frame omits `R`, `K`, `set_id` and the unchanged entries: the
+//! decoder reconstructs the stamp from its per-sender *reconstruction
+//! stamp* — the `(seq, timestamp, keys)` of the sender's last decoded
+//! frame. Because the stamp for a given `(sender, seq)` is unique, any
+//! frame whose stored `seq` equals `base_seq` is a valid base, in or out
+//! of order. A delta against an unknown base fails with
+//! [`WireError::MissingDeltaBase`]; the caller re-fetches a standalone
+//! full frame (anti-entropy serves those), which is also how late joiners
+//! bootstrap. [`DeltaEncoder`] emits a full frame periodically and
+//! whenever a delta would not be smaller or the stamp regressed (e.g.
+//! after a crash-restore).
+//!
 //! Version 2 appends a 64-bit FNV-1a checksum so in-flight corruption is
 //! *detected*, never delivered: each FNV step `x ↦ (x ⊕ b) · prime` is a
 //! bijection of the state for fixed position, so any single-byte
-//! substitution is guaranteed to change the digest. Decoding is total —
-//! arbitrary bytes either yield a well-formed message or a [`WireError`],
-//! never a panic.
+//! substitution is guaranteed to change the digest. Version 3 keeps the
+//! same trailer. Decoding is total — arbitrary bytes either yield a
+//! well-formed message or a [`WireError`], never a panic.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -34,6 +62,9 @@ use pcb_clock::{KeySet, KeySpace, ProcessId, Timestamp};
 use crate::message::{Message, MessageId};
 
 const VERSION: u8 = 2;
+const VERSION_DELTA: u8 = 3;
+const KIND_FULL: u8 = 0;
+const KIND_DELTA: u8 = 1;
 const CHECKSUM_LEN: usize = 8;
 
 /// Errors decoding a wire frame.
@@ -51,6 +82,18 @@ pub enum WireError {
     VarintOverflow,
     /// `(R, K)` or `set_id` failed validation.
     BadKeys(String),
+    /// A delta frame referenced a base stamp this decoder does not hold
+    /// (late joiner, evicted state, or frames lost in flight). Recover by
+    /// re-fetching a standalone full frame via anti-entropy.
+    MissingDeltaBase {
+        /// Sender index whose reconstruction stamp is missing or stale.
+        sender: usize,
+        /// The sequence number the delta was encoded against.
+        base_seq: u64,
+    },
+    /// A delta frame's entry indices or counts are inconsistent with the
+    /// reconstruction stamp (e.g. an index past `R`).
+    BadDelta(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -61,6 +104,10 @@ impl std::fmt::Display for WireError {
             Self::ChecksumMismatch => write!(f, "frame checksum mismatch"),
             Self::VarintOverflow => write!(f, "varint exceeds 64 bits"),
             Self::BadKeys(msg) => write!(f, "invalid key material: {msg}"),
+            Self::MissingDeltaBase { sender, base_seq } => {
+                write!(f, "no reconstruction stamp for sender {sender} at seq {base_seq}")
+            }
+            Self::BadDelta(msg) => write!(f, "invalid delta frame: {msg}"),
         }
     }
 }
@@ -131,41 +178,73 @@ pub(crate) fn get_uvar(buf: &mut Bytes) -> Result<u64, WireError> {
     Err(WireError::VarintOverflow)
 }
 
-/// Encodes a message with an opaque byte payload.
-#[must_use]
-pub fn encode(message: &Message<Bytes>) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32 + message.timestamp().len() * 2);
-    buf.put_u8(VERSION);
-    put_uvar(&mut buf, message.sender().index() as u64);
-    put_uvar(&mut buf, message.id().seq());
+fn put_full_body(buf: &mut BytesMut, message: &Message<Bytes>) {
+    put_uvar(buf, message.sender().index() as u64);
+    put_uvar(buf, message.id().seq());
     let space = message.keys().space();
-    put_uvar(&mut buf, space.r() as u64);
-    put_uvar(&mut buf, space.k() as u64);
+    put_uvar(buf, space.r() as u64);
+    put_uvar(buf, space.k() as u64);
     buf.put_u128_le(message.keys().set_id());
     for &entry in message.timestamp().entries() {
-        put_uvar(&mut buf, entry);
+        put_uvar(buf, entry);
     }
-    put_uvar(&mut buf, message.payload().len() as u64);
+    put_uvar(buf, message.payload().len() as u64);
     buf.put_slice(message.payload());
+}
+
+/// Encodes a message as a standalone v2 frame (all `R` entries).
+#[must_use]
+pub fn encode(message: &Message<Bytes>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(48 + message.timestamp().len() * 2);
+    buf.put_u8(VERSION);
+    put_full_body(&mut buf, message);
     seal(buf)
 }
 
-/// Decodes a frame produced by [`encode`].
-///
-/// # Errors
-///
-/// Any [`WireError`] on malformed input; decoding never panics. The
-/// version byte is checked first (so foreign formats report
-/// [`WireError::BadVersion`]), then the trailing checksum, then the body.
-pub fn decode(frame: Bytes) -> Result<Message<Bytes>, WireError> {
+/// Encodes a message as a standalone v3 *full* frame. Like [`encode`] it
+/// is self-describing — anti-entropy and late-joiner bootstrap serve
+/// these — but it participates in v3 delta chains: a decoder records its
+/// stamp as the sender's reconstruction base.
+#[must_use]
+pub fn encode_full(message: &Message<Bytes>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(48 + message.timestamp().len() * 2);
+    buf.put_u8(VERSION_DELTA);
+    buf.put_u8(KIND_FULL);
+    put_full_body(&mut buf, message);
+    seal(buf)
+}
+
+/// What a frame claims to be, before the checksum is verified.
+enum Preflight {
+    V2,
+    V3Full,
+    V3Delta,
+}
+
+fn preflight(frame: &Bytes) -> Result<Preflight, WireError> {
     if frame.is_empty() {
         return Err(WireError::Truncated);
     }
-    if frame[0] != VERSION {
-        return Err(WireError::BadVersion(frame[0]));
+    match frame[0] {
+        VERSION => Ok(Preflight::V2),
+        VERSION_DELTA => {
+            if frame.len() < 2 {
+                return Err(WireError::Truncated);
+            }
+            match frame[1] {
+                KIND_FULL => Ok(Preflight::V3Full),
+                KIND_DELTA => Ok(Preflight::V3Delta),
+                kind => Err(WireError::BadDelta(format!("unknown frame kind {kind}"))),
+            }
+        }
+        version => Err(WireError::BadVersion(version)),
     }
-    let mut frame = checksum_verified(&frame)?;
-    frame.advance(1); // version, already checked
+}
+
+/// Decodes the shared full-frame body; `skip` is the header length (1 for
+/// v2's version byte, 2 for v3's version + kind).
+fn decode_full_body(mut frame: Bytes, skip: usize) -> Result<Message<Bytes>, WireError> {
+    frame.advance(skip);
     let sender = get_uvar(&mut frame)? as usize;
     let seq = get_uvar(&mut frame)?;
     let r = get_uvar(&mut frame)? as usize;
@@ -191,6 +270,262 @@ pub fn decode(frame: Bytes) -> Result<Message<Bytes>, WireError> {
         Timestamp::from_entries(entries),
         payload,
     ))
+}
+
+/// Decodes a standalone frame (v2, or a v3 full frame).
+///
+/// # Errors
+///
+/// Any [`WireError`] on malformed input; decoding never panics. The
+/// version byte is checked first (so foreign formats report
+/// [`WireError::BadVersion`]), then the trailing checksum, then the body.
+/// A v3 *delta* frame is not standalone: it reports
+/// [`WireError::MissingDeltaBase`] here — use [`DeltaDecoder`] (which
+/// keeps per-sender reconstruction stamps) to decode delta streams.
+pub fn decode(frame: Bytes) -> Result<Message<Bytes>, WireError> {
+    let kind = preflight(&frame)?;
+    let body = checksum_verified(&frame)?;
+    match kind {
+        Preflight::V2 => decode_full_body(body, 1),
+        Preflight::V3Full => decode_full_body(body, 2),
+        Preflight::V3Delta => {
+            let (sender, _, base_seq) = delta_header(body)?.0;
+            Err(WireError::MissingDeltaBase { sender, base_seq })
+        }
+    }
+}
+
+/// Reads `(sender, seq, base_seq)` from a checksum-verified delta body,
+/// returning the remaining bytes positioned at the change list.
+fn delta_header(mut body: Bytes) -> Result<((usize, u64, u64), Bytes), WireError> {
+    body.advance(2); // version + kind, already checked
+    let sender = get_uvar(&mut body)? as usize;
+    let seq = get_uvar(&mut body)?;
+    let base_seq = get_uvar(&mut body)?;
+    Ok(((sender, seq, base_seq), body))
+}
+
+/// Per-sender stateful encoder producing v3 delta chains.
+///
+/// One encoder per sending process. Each call diffs the outgoing stamp
+/// against the previous frame's stamp and ships only the changed entries
+/// — amortized `K` varints instead of `R`. A standalone full frame is
+/// emitted for the first message, every `full_every`-th frame thereafter
+/// (so late joiners and lossy links resynchronize within a bounded
+/// window), after [`DeltaEncoder::force_full`], and whenever a delta
+/// would not pay for itself (more than half the entries changed) or the
+/// stamp regressed (a crash-restore replay).
+#[derive(Debug, Clone)]
+pub struct DeltaEncoder {
+    full_every: u64,
+    since_full: u64,
+    last: Option<(u64, Timestamp)>,
+    fulls: u64,
+    deltas: u64,
+}
+
+impl DeltaEncoder {
+    /// Default full-frame cadence: one standalone frame per 32 sends.
+    pub const DEFAULT_FULL_EVERY: u64 = 32;
+
+    /// An encoder emitting a full frame every `full_every` frames
+    /// (clamped to ≥ 1; `1` degenerates to always-full).
+    #[must_use]
+    pub fn new(full_every: u64) -> Self {
+        Self { full_every: full_every.max(1), since_full: 0, last: None, fulls: 0, deltas: 0 }
+    }
+
+    /// Forces the next frame to be a standalone full frame. Call after
+    /// restoring from a snapshot (the replayed stamp may regress) or when
+    /// a receiver reports [`WireError::MissingDeltaBase`].
+    pub fn force_full(&mut self) {
+        self.last = None;
+    }
+
+    /// Encodes the sender's next message, choosing delta or full.
+    #[must_use]
+    pub fn encode(&mut self, message: &Message<Bytes>) -> Bytes {
+        let ts = message.timestamp();
+        if self.since_full + 1 < self.full_every {
+            if let Some((base_seq, base)) = &self.last {
+                if let Some(frame) = encode_delta(message, *base_seq, base) {
+                    self.since_full += 1;
+                    self.deltas += 1;
+                    self.last = Some((message.id().seq(), ts.clone()));
+                    return frame;
+                }
+            }
+        }
+        self.since_full = 0;
+        self.fulls += 1;
+        self.last = Some((message.id().seq(), ts.clone()));
+        encode_full(message)
+    }
+
+    /// Standalone full frames emitted so far.
+    #[must_use]
+    pub fn fulls_emitted(&self) -> u64 {
+        self.fulls
+    }
+
+    /// Delta frames emitted so far.
+    #[must_use]
+    pub fn deltas_emitted(&self) -> u64 {
+        self.deltas
+    }
+}
+
+impl Default for DeltaEncoder {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_FULL_EVERY)
+    }
+}
+
+/// Encodes `message` as a delta against `(base_seq, base)`, or `None` if
+/// a delta is impossible (length mismatch, regressed entries) or not
+/// worth it (more than half the entries changed).
+fn encode_delta(message: &Message<Bytes>, base_seq: u64, base: &Timestamp) -> Option<Bytes> {
+    let ts = message.timestamp();
+    if ts.len() != base.len() {
+        return None;
+    }
+    let mut changed: Vec<(usize, u64)> = Vec::new();
+    for (i, (&new, &old)) in ts.entries().iter().zip(base.entries()).enumerate() {
+        if new < old {
+            return None; // stamp regressed; only a full frame is sound
+        }
+        if new > old {
+            changed.push((i, new - old));
+        }
+    }
+    if changed.len() * 2 > ts.len() {
+        return None;
+    }
+    let mut buf = BytesMut::with_capacity(32 + changed.len() * 4 + message.payload().len());
+    buf.put_u8(VERSION_DELTA);
+    buf.put_u8(KIND_DELTA);
+    put_uvar(&mut buf, message.sender().index() as u64);
+    put_uvar(&mut buf, message.id().seq());
+    put_uvar(&mut buf, base_seq);
+    put_uvar(&mut buf, changed.len() as u64);
+    let mut prev: Option<usize> = None;
+    for &(index, increase) in &changed {
+        let gap = match prev {
+            None => index,
+            Some(p) => index - p - 1,
+        };
+        put_uvar(&mut buf, gap as u64);
+        put_uvar(&mut buf, increase);
+        prev = Some(index);
+    }
+    put_uvar(&mut buf, message.payload().len() as u64);
+    buf.put_slice(message.payload());
+    Some(seal(buf))
+}
+
+/// Per-sender reconstruction stamp: the last decoded frame's identity,
+/// timestamp, and key set for one sender.
+#[derive(Debug, Clone)]
+struct Reconstruction {
+    seq: u64,
+    stamp: Timestamp,
+    keys: Arc<KeySet>,
+}
+
+/// Stateful decoder for v3 delta chains (also accepts v2 and v3 full
+/// frames, which refresh its per-sender reconstruction stamps).
+///
+/// Correctness does not depend on arrival order: the stamp attached to a
+/// given `(sender, seq)` is unique, so any stored stamp whose `seq`
+/// matches a delta's `base_seq` reconstructs the exact original vector.
+/// A delta whose base is unknown fails with
+/// [`WireError::MissingDeltaBase`] and leaves the decoder state
+/// untouched; the caller re-fetches a full frame.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaDecoder {
+    stamps: HashMap<usize, Reconstruction>,
+}
+
+impl DeltaDecoder {
+    /// A decoder with no reconstruction state (a late joiner).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of senders with a live reconstruction stamp.
+    #[must_use]
+    pub fn tracked_senders(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Decodes any frame (v2, v3 full, v3 delta), updating the sender's
+    /// reconstruction stamp on success.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; notably [`WireError::MissingDeltaBase`] for a
+    /// delta whose base stamp this decoder has never seen.
+    pub fn decode(&mut self, frame: Bytes) -> Result<Message<Bytes>, WireError> {
+        let kind = preflight(&frame)?;
+        let body = checksum_verified(&frame)?;
+        let message = match kind {
+            Preflight::V2 => decode_full_body(body, 1)?,
+            Preflight::V3Full => decode_full_body(body, 2)?,
+            Preflight::V3Delta => {
+                let ((sender, seq, base_seq), mut body) = delta_header(body)?;
+                let base = self
+                    .stamps
+                    .get(&sender)
+                    .filter(|s| s.seq == base_seq)
+                    .ok_or(WireError::MissingDeltaBase { sender, base_seq })?;
+                let r = base.stamp.len();
+                let count = get_uvar(&mut body)? as usize;
+                if count > r {
+                    return Err(WireError::BadDelta(format!("{count} changes for R = {r}")));
+                }
+                let mut entries: Vec<u64> = base.stamp.entries().to_vec();
+                let mut prev: Option<usize> = None;
+                for _ in 0..count {
+                    let gap = get_uvar(&mut body)? as usize;
+                    let increase = get_uvar(&mut body)?;
+                    let index = match prev {
+                        None => gap,
+                        Some(p) => p
+                            .checked_add(1 + gap)
+                            .ok_or_else(|| WireError::BadDelta("entry index overflow".into()))?,
+                    };
+                    if index >= r {
+                        return Err(WireError::BadDelta(format!("entry {index} past R = {r}")));
+                    }
+                    entries[index] = entries[index]
+                        .checked_add(increase)
+                        .ok_or_else(|| WireError::BadDelta("entry counter overflow".into()))?;
+                    prev = Some(index);
+                }
+                let payload_len = get_uvar(&mut body)? as usize;
+                if body.remaining() < payload_len {
+                    return Err(WireError::Truncated);
+                }
+                let payload = body.split_to(payload_len);
+                Message::new(
+                    MessageId::new(ProcessId::new(sender), seq),
+                    Arc::clone(&base.keys),
+                    Timestamp::from_entries(entries),
+                    payload,
+                )
+            }
+        };
+        self.stamps.insert(
+            message.sender().index(),
+            Reconstruction {
+                seq: message.id().seq(),
+                stamp: message.timestamp().clone(),
+                keys: message.keys_arc(),
+            },
+        );
+        Ok(message)
+    }
 }
 
 /// Encoded control-information size (everything except the payload) for a
@@ -286,13 +621,27 @@ mod tests {
 
     #[test]
     fn varint_boundaries() {
-        let mut buf = BytesMut::new();
         for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
-            buf.clear();
+            let mut buf = BytesMut::new();
             put_uvar(&mut buf, v);
-            let mut frozen = buf.clone().freeze();
+            let mut frozen = buf.freeze();
             assert_eq!(get_uvar(&mut frozen).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn frame_freeze_is_zero_copy() {
+        // Sealing a frame must adopt the build buffer's allocation, and
+        // fanning the frame out (clone per receiver) must share it: the
+        // visible bytes keep one address through the whole chain.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(b"frame body bytes");
+        let built_at = buf.as_ptr();
+        let sealed = seal(buf);
+        assert_eq!(sealed.as_ptr(), built_at, "freeze must not copy the frame");
+        let fanned_out = sealed.clone();
+        assert_eq!(fanned_out.as_ptr(), sealed.as_ptr(), "clones must share storage");
+        assert_eq!(fanned_out.len(), sealed.len());
     }
 
     #[test]
@@ -380,6 +729,175 @@ mod tests {
         assert!(encoded < m.control_overhead());
         // A vector clock for N = 1000 would be ≥ 1000 bytes even varint-encoded.
         assert!(encoded < 1000);
+    }
+
+    /// A stream of `n` messages from one sender whose clock also absorbs
+    /// deliveries (so deltas touch more than the sender's own keys).
+    fn stream(n: usize) -> Vec<Message<Bytes>> {
+        let space = KeySpace::new(100, 4).unwrap();
+        let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, 7);
+        let keys_a = assigner.next_set().unwrap();
+        let keys_b = assigner.next_set().unwrap();
+        let mut a = crate::PcbProcess::new(ProcessId::new(0), keys_a);
+        let mut b = crate::PcbProcess::new(ProcessId::new(1), keys_b);
+        (0..n)
+            .map(|i| {
+                if i % 3 == 2 {
+                    // Interleave a delivery so a's next stamp moves
+                    // entries outside its own key set too.
+                    let m = b.broadcast(Bytes::new());
+                    let _ = a.on_receive(m, i as u64);
+                }
+                a.broadcast(Bytes::from(vec![i as u8; i % 5]))
+            })
+            .collect()
+    }
+
+    fn assert_same(decoded: &Message<Bytes>, original: &Message<Bytes>) {
+        assert_eq!(decoded.id(), original.id());
+        assert_eq!(decoded.keys(), original.keys());
+        assert_eq!(decoded.timestamp(), original.timestamp());
+        assert_eq!(decoded.payload(), original.payload());
+    }
+
+    #[test]
+    fn v3_full_frame_is_standalone() {
+        let original = sample(b"standalone");
+        let decoded = decode(encode_full(&original)).unwrap();
+        assert_same(&decoded, &original);
+        let mut fresh = DeltaDecoder::new();
+        assert_same(&fresh.decode(encode_full(&original)).unwrap(), &original);
+    }
+
+    #[test]
+    fn delta_chain_roundtrips_and_shrinks() {
+        let originals = stream(60);
+        let mut enc = DeltaEncoder::new(16);
+        let mut dec = DeltaDecoder::new();
+        let full_len = encode_full(&originals[5]).len();
+        for original in &originals {
+            let frame = enc.encode(original);
+            if frame[1] == KIND_DELTA {
+                assert!(
+                    frame.len() < full_len / 2,
+                    "delta frame ({} B) should be far below full ({full_len} B)",
+                    frame.len()
+                );
+            }
+            assert_same(&dec.decode(frame).unwrap(), original);
+        }
+        assert_eq!(enc.fulls_emitted(), 4, "60 frames at cadence 16");
+        assert_eq!(enc.deltas_emitted(), 56);
+        assert_eq!(dec.tracked_senders(), 1);
+    }
+
+    #[test]
+    fn late_joiner_recovers_via_full_frame() {
+        let originals = stream(10);
+        let mut enc = DeltaEncoder::new(64);
+        let frames: Vec<Bytes> = originals.iter().map(|m| enc.encode(m)).collect();
+        // A late joiner misses the first full frame and sees only deltas.
+        let mut dec = DeltaDecoder::new();
+        let err = dec.decode(frames[4].clone()).unwrap_err();
+        assert!(
+            matches!(err, WireError::MissingDeltaBase { sender: 0, base_seq } if base_seq == 4),
+            "got {err:?}"
+        );
+        assert_eq!(dec.tracked_senders(), 0, "a failed delta must not corrupt state");
+        // Anti-entropy re-serves the message as a standalone full frame …
+        assert_same(&dec.decode(encode_full(&originals[4]).clone()).unwrap(), &originals[4]);
+        // … and the live delta stream resumes from there.
+        for (original, frame) in originals.iter().zip(&frames).skip(5) {
+            assert_same(&dec.decode(frame.clone()).unwrap(), original);
+        }
+    }
+
+    #[test]
+    fn v2_frame_seeds_a_delta_base() {
+        // Cross-version: state learned from a v2 frame reconstructs a v3
+        // delta encoded against the same (sender, seq) stamp.
+        let originals = stream(3);
+        let mut dec = DeltaDecoder::new();
+        assert_same(&dec.decode(encode(&originals[0])).unwrap(), &originals[0]);
+        let base_seq = originals[0].id().seq();
+        let delta = encode_delta(&originals[1], base_seq, originals[0].timestamp()).unwrap();
+        assert_same(&dec.decode(delta).unwrap(), &originals[1]);
+    }
+
+    #[test]
+    fn force_full_restarts_the_chain() {
+        let originals = stream(6);
+        let mut enc = DeltaEncoder::new(1000);
+        let _ = enc.encode(&originals[0]);
+        let _ = enc.encode(&originals[1]);
+        enc.force_full();
+        let frame = enc.encode(&originals[2]);
+        assert_eq!(frame[1], KIND_FULL, "force_full must emit a standalone frame");
+        assert_eq!(enc.fulls_emitted(), 2);
+    }
+
+    #[test]
+    fn regressed_stamp_falls_back_to_full() {
+        // A crash-restore can replay an older stamp; a delta would need a
+        // negative increase, so the encoder must emit a full frame.
+        let originals = stream(6);
+        let mut enc = DeltaEncoder::new(1000);
+        let _ = enc.encode(&originals[5]);
+        let frame = enc.encode(&originals[0]);
+        assert_eq!(frame[1], KIND_FULL);
+        assert_same(&decode(frame).unwrap(), &originals[0]);
+    }
+
+    #[test]
+    fn delta_frame_substitutions_are_rejected() {
+        let originals = stream(4);
+        let mut enc = DeltaEncoder::new(64);
+        let mut frames: Vec<Bytes> = originals.iter().map(|m| enc.encode(m)).collect();
+        let delta = frames.pop().unwrap();
+        assert_eq!(delta[1], KIND_DELTA);
+        for i in 0..delta.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut primed = DeltaDecoder::new();
+                for f in &frames {
+                    let _ = primed.decode(f.clone()).unwrap();
+                }
+                let mut bytes = delta.to_vec();
+                bytes[i] ^= flip;
+                assert!(
+                    primed.decode(Bytes::from(bytes)).is_err(),
+                    "substitution at byte {i} (xor {flip:#04x}) must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_truncation_at_every_length_is_rejected() {
+        let originals = stream(3);
+        let mut enc = DeltaEncoder::new(64);
+        let frames: Vec<Bytes> = originals.iter().map(|m| enc.encode(m)).collect();
+        let delta = frames.last().unwrap();
+        assert_eq!(delta[1], KIND_DELTA);
+        for len in 0..delta.len() {
+            let mut primed = DeltaDecoder::new();
+            for f in &frames[..frames.len() - 1] {
+                let _ = primed.decode(f.clone()).unwrap();
+            }
+            assert!(primed.decode(delta.slice(0..len)).is_err(), "prefix of {len} bytes");
+        }
+    }
+
+    #[test]
+    fn steady_state_delta_meets_the_size_budget() {
+        // Acceptance bar: amortized wire size at (R=100, K=4) steady
+        // state ≤ 0.35× the v2 full-vector frame.
+        let originals = stream(256);
+        let mut enc = DeltaEncoder::default();
+        let steady = &originals[64..];
+        let v3: usize = steady.iter().map(|m| enc.encode(m).len()).sum();
+        let v2: usize = steady.iter().map(|m| encode(m).len()).sum();
+        let ratio = v3 as f64 / v2 as f64;
+        assert!(ratio <= 0.35, "amortized delta ratio {ratio:.3} must be ≤ 0.35");
     }
 
     #[test]

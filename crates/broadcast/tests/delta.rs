@@ -1,0 +1,264 @@
+//! Differential tests for the v3 delta wire codec: delivery under
+//! delta-compressed frames must be **bit-identical** to delivery under
+//! full frames, on every trace.
+//!
+//! Two replay paths share one arrival permutation:
+//!
+//! 1. *full* — every message ships as a standalone v3 full frame;
+//! 2. *delta* — every sender runs a [`DeltaEncoder`] (periodic full
+//!    stamps, deltas in between); the receiver's [`DeltaDecoder`]
+//!    reconstructs, falling back to an on-demand full frame whenever a
+//!    permuted arrival references a base it has not decoded yet —
+//!    exactly the refetch/late-joiner path.
+//!
+//! Both paths feed the same [`PcbProcess`] logic, and the orders (and
+//! re-encoded wire bytes) of everything delivered must match. A proptest
+//! property then round-trips arbitrary stamp sequences — including gaps
+//! and regressions that force the full-frame fallback — through the
+//! codec pair.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use pcb_broadcast::wire::{DeltaDecoder, DeltaEncoder};
+use pcb_broadcast::{wire, Message, MessageId, PcbProcess, WireError};
+use pcb_clock::{KeySet, KeySpace, ProcessId, Timestamp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Picks `k` distinct entries of `0..r` uniformly (partial Fisher-Yates).
+fn random_keys(rng: &mut StdRng, r: usize, k: usize) -> KeySet {
+    let mut entries: Vec<usize> = (0..r).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..r);
+        entries.swap(i, j);
+    }
+    entries.truncate(k);
+    entries.sort_unstable();
+    let space = KeySpace::new(r, k).expect("valid space");
+    KeySet::from_entries(space, &entries).expect("entries in range")
+}
+
+fn shuffle<T>(rng: &mut StdRng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Generates a causally rich pool: before each send the sender catches
+/// up on a random prefix of everything broadcast so far, so stamps carry
+/// cross-sender dependencies. Returns the messages **in send order**
+/// (the order each sender's `DeltaEncoder` sees them) plus a random
+/// arrival permutation of pool indices.
+fn generate_pool(
+    seed: u64,
+    senders: usize,
+    per_sender: usize,
+    space: KeySpace,
+) -> (Vec<Message<Bytes>>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut procs: Vec<PcbProcess<Bytes>> = (0..senders)
+        .map(|i| PcbProcess::new(ProcessId::new(i), random_keys(&mut rng, space.r(), space.k())))
+        .collect();
+    let mut pool: Vec<Message<Bytes>> = Vec::new();
+    let mut caught_up = vec![0usize; senders];
+    let mut quota = vec![per_sender; senders];
+    for step in 0..senders * per_sender {
+        let mut s = rng.random_range(0..senders);
+        while quota[s] == 0 {
+            s = (s + 1) % senders;
+        }
+        quota[s] -= 1;
+        while caught_up[s] < pool.len() && rng.random_bool(0.7) {
+            let m = pool[caught_up[s]].clone();
+            caught_up[s] += 1;
+            let _ = procs[s].on_receive(m, step as u64);
+        }
+        let payload = Bytes::from((step as u64).to_be_bytes().to_vec());
+        pool.push(procs[s].broadcast(payload));
+    }
+    let mut arrival: Vec<usize> = (0..pool.len()).collect();
+    shuffle(&mut rng, &mut arrival);
+    (pool, arrival)
+}
+
+/// Replays `arrival` through a fresh receiver, decoding each message
+/// from the frame produced by `frame_for`. On [`WireError::MissingDeltaBase`]
+/// the receiver refetches the standalone full frame — the anti-entropy
+/// path — and retries nothing: the full frame *is* the message.
+fn replay(
+    space: KeySpace,
+    pool: &[Message<Bytes>],
+    arrival: &[usize],
+    mut frame_for: impl FnMut(usize) -> Bytes,
+) -> Vec<MessageId> {
+    let keys = KeySet::from_entries(space, &(0..space.k()).collect::<Vec<_>>()).unwrap();
+    let mut process: PcbProcess<Bytes> = PcbProcess::new(ProcessId::new(usize::MAX), keys);
+    let mut decoder = DeltaDecoder::new();
+    let mut order = Vec::new();
+    for (t, &i) in arrival.iter().enumerate() {
+        let decoded = match decoder.decode(frame_for(i)) {
+            Ok(m) => m,
+            Err(WireError::MissingDeltaBase { .. }) => {
+                decoder.decode(wire::encode_full(&pool[i])).expect("full frame is standalone")
+            }
+            Err(e) => panic!("decode failed: {e}"),
+        };
+        // Reconstruction is exact: the decoded message re-encodes to the
+        // same v2 bytes as the original.
+        assert_eq!(wire::encode(&decoded), wire::encode(&pool[i]), "lossy reconstruction");
+        for d in process.on_receive(decoded, t as u64) {
+            order.push(d.message.id());
+        }
+    }
+    order
+}
+
+#[test]
+fn delta_and_full_frames_deliver_bit_identically() {
+    // ≥ 20 seeded traces over a colliding and a roomy key space.
+    for (r, k) in [(8, 2), (100, 4)] {
+        let space = KeySpace::new(r, k).unwrap();
+        for seed in 0..12u64 {
+            let senders = 2 + (seed as usize % 4);
+            let (pool, arrival) = generate_pool(seed, senders, 8, space);
+
+            // Path 1: every arrival is a standalone v3 full frame.
+            let full_order = replay(space, &pool, &arrival, |i| wire::encode_full(&pool[i]));
+
+            // Path 2: per-sender delta chains encoded in send order
+            // (frames fixed before the permutation is applied).
+            let mut encoders: std::collections::HashMap<usize, DeltaEncoder> =
+                std::collections::HashMap::new();
+            let frames: Vec<Bytes> = pool
+                .iter()
+                .map(|m| {
+                    encoders
+                        .entry(m.sender().index())
+                        .or_insert_with(|| DeltaEncoder::new(4))
+                        .encode(m)
+                })
+                .collect();
+            let deltas: u64 = encoders.values().map(DeltaEncoder::deltas_emitted).sum();
+            assert!(deltas > 0, "seed {seed}: the chain must actually emit deltas");
+            let delta_order = replay(space, &pool, &arrival, |i| frames[i].clone());
+
+            assert_eq!(
+                full_order, delta_order,
+                "seed {seed} ({r},{k}): delivery order diverged under delta frames"
+            );
+            assert_eq!(full_order.len(), pool.len(), "seed {seed}: everything delivers");
+        }
+    }
+}
+
+#[test]
+fn v2_and_v3_mixed_stream_decodes_identically() {
+    // A receiver upgraded mid-stream: odd frames arrive as v2, even as
+    // v3 (full or delta). The decoder must not care.
+    let space = KeySpace::new(16, 2).unwrap();
+    let (pool, arrival) = generate_pool(99, 3, 10, space);
+    let mut encoder = DeltaEncoder::new(4);
+    let frames: Vec<Bytes> = pool
+        .iter()
+        .enumerate()
+        .map(|(i, m)| if i % 2 == 1 { wire::encode(m) } else { encoder.encode(m) })
+        .collect();
+    let full_order = replay(space, &pool, &arrival, |i| wire::encode_full(&pool[i]));
+    let mixed_order = replay(space, &pool, &arrival, |i| frames[i].clone());
+    assert_eq!(full_order, mixed_order);
+}
+
+/// Builds a raw message with an arbitrary stamp — no protocol involved,
+/// so sequences can jump, stall, or regress at will.
+fn raw_message(sender: usize, seq: u64, entries: Vec<u64>, keys: &Arc<KeySet>) -> Message<Bytes> {
+    Message::new(
+        MessageId::new(ProcessId::new(sender), seq),
+        Arc::clone(keys),
+        Timestamp::from_entries(entries),
+        Bytes::from(seq.to_be_bytes().to_vec()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Round-trips an arbitrary stamp sequence — including gaps (big
+    /// jumps), stalls, and outright regressions that force the encoder's
+    /// full-frame fallback — through `DeltaEncoder`/`DeltaDecoder`.
+    #[test]
+    fn arbitrary_stamp_sequences_roundtrip(
+        r in 2usize..24,
+        full_every in 1u64..9,
+        steps in proptest::collection::vec(
+            (proptest::collection::vec(0u64..1 << 40, 0..24), any::<bool>()),
+            1..32,
+        ),
+    ) {
+        let space = KeySpace::new(r, 1).unwrap();
+        let keys = Arc::new(KeySet::from_entries(space, &[0]).unwrap());
+        let mut encoder = DeltaEncoder::new(full_every);
+        let mut decoder = DeltaDecoder::new();
+        let mut entries = vec![0u64; r];
+        for (seq, (noise, force)) in steps.into_iter().enumerate() {
+            // Mutate some prefix of the stamp: absolute overwrites, so
+            // values can regress as well as jump — both must fall back
+            // to a full frame, silently.
+            for (e, v) in entries.iter_mut().zip(noise) {
+                *e = v;
+            }
+            if force {
+                encoder.force_full();
+            }
+            let m = raw_message(7, seq as u64 + 1, entries.clone(), &keys);
+            let frame = encoder.encode(&m);
+            let back = decoder.decode(frame).expect("in-order chain always decodes");
+            prop_assert_eq!(wire::encode(&back), wire::encode(&m));
+        }
+        // The cadence bound holds even under fallbacks: at least one full
+        // frame per `full_every` frames.
+        prop_assert!(encoder.fulls_emitted() >= 1);
+    }
+
+    /// A decoder joining the chain late decodes nothing until a full
+    /// frame arrives, then tracks the stream exactly.
+    #[test]
+    fn late_joiner_only_needs_one_full_frame(
+        r in 2usize..16,
+        n in 2usize..20,
+        join_at in 0usize..20,
+    ) {
+        let join_at = join_at % n;
+        let space = KeySpace::new(r, 1).unwrap();
+        let keys = Arc::new(KeySet::from_entries(space, &[0]).unwrap());
+        let mut encoder = DeltaEncoder::new(u64::MAX); // one full, then deltas forever
+        let mut entries = vec![0u64; r];
+        let frames: Vec<(Message<Bytes>, Bytes)> = (0..n)
+            .map(|seq| {
+                entries[seq % r] += 1 + seq as u64;
+                let m = raw_message(3, seq as u64 + 1, entries.clone(), &keys);
+                let f = encoder.encode(&m);
+                (m, f)
+            })
+            .collect();
+        // The joiner misses the first `join_at` frames entirely.
+        let mut decoder = DeltaDecoder::new();
+        for (i, (m, frame)) in frames.iter().enumerate().skip(join_at) {
+            match decoder.decode(frame.clone()) {
+                Ok(back) => prop_assert_eq!(wire::encode(&back), wire::encode(m)),
+                Err(WireError::MissingDeltaBase { .. }) => {
+                    prop_assert!(
+                        i == join_at && join_at > 0,
+                        "only the first frame after joining may miss its base"
+                    );
+                    // Refetch: the standalone full frame re-seeds the chain.
+                    let back = decoder.decode(wire::encode_full(m)).unwrap();
+                    prop_assert_eq!(wire::encode(&back), wire::encode(m));
+                }
+                Err(e) => return Err(format!("decode failed: {e}")),
+            }
+        }
+    }
+}

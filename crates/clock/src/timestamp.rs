@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::ops::Index;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -10,6 +11,12 @@ use serde::{Deserialize, Serialize};
 /// Unlike a classical vector clock, entries do not map one-to-one to
 /// processes: with the probabilistic clock, each entry is shared by many
 /// processes and each process owns several entries.
+///
+/// Entries live behind an `Arc` with copy-on-write semantics: cloning a
+/// timestamp (attaching it to a message, fanning it out to N receivers)
+/// is a reference-count bump, and the single mutation site per send
+/// (`ProbClock::stamp_send` / `record_delivery`) pays the O(R) copy only
+/// when the vector is actually shared.
 ///
 /// ```
 /// use pcb_clock::Timestamp;
@@ -20,20 +27,27 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub struct Timestamp {
-    entries: Vec<u64>,
+    entries: Arc<Vec<u64>>,
 }
 
 impl Timestamp {
     /// An all-zero timestamp of length `r` (the initial-state vector).
     #[must_use]
     pub fn zero(r: usize) -> Self {
-        Self { entries: vec![0; r] }
+        Self { entries: Arc::new(vec![0; r]) }
     }
 
     /// Wraps raw entries.
     #[must_use]
     pub fn from_entries(entries: Vec<u64>) -> Self {
-        Self { entries }
+        Self { entries: Arc::new(entries) }
+    }
+
+    /// Whether `self` and `other` share one entry allocation — true after
+    /// a clone until either side mutates. Exposed for sharing assertions.
+    #[must_use]
+    pub fn shares_storage_with(&self, other: &Timestamp) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries)
     }
 
     /// Number of entries, `R`.
@@ -75,7 +89,7 @@ impl Timestamp {
     #[must_use]
     pub fn dominates(&self, other: &Timestamp) -> bool {
         assert_eq!(self.len(), other.len(), "timestamp length mismatch");
-        self.entries.iter().zip(&other.entries).all(|(a, b)| a >= b)
+        self.entries.iter().zip(other.entries.iter()).all(|(a, b)| a >= b)
     }
 
     /// Component-wise maximum, in place. Used by the merge-variant ablation
@@ -87,7 +101,7 @@ impl Timestamp {
     /// Panics if lengths differ.
     pub fn merge_max(&mut self, other: &Timestamp) {
         assert_eq!(self.len(), other.len(), "timestamp length mismatch");
-        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+        for (a, b) in self.entries_mut().iter_mut().zip(other.entries.iter()) {
             *a = (*a).max(*b);
         }
     }
@@ -100,7 +114,9 @@ impl Timestamp {
     }
 
     pub(crate) fn entries_mut(&mut self) -> &mut [u64] {
-        &mut self.entries
+        // Copy-on-write: unshare only if another handle still points at
+        // this allocation (the one O(R) copy per Algorithm 1 mutation).
+        Arc::make_mut(&mut self.entries).as_mut_slice()
     }
 }
 
@@ -127,7 +143,7 @@ impl fmt::Display for Timestamp {
 
 impl FromIterator<u64> for Timestamp {
     fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
-        Self { entries: iter.into_iter().collect() }
+        Self { entries: Arc::new(iter.into_iter().collect()) }
     }
 }
 
@@ -167,6 +183,17 @@ mod tests {
         let b = Timestamp::from_entries(vec![1, 5, 3]);
         a.merge_max(&b);
         assert_eq!(a.entries(), &[2, 5, 3]);
+    }
+
+    #[test]
+    fn clone_shares_until_mutation() {
+        let a = Timestamp::from_entries(vec![1, 2, 3]);
+        let mut b = a.clone();
+        assert!(a.shares_storage_with(&b), "clone is a refcount bump");
+        b.entries_mut()[0] = 9;
+        assert!(!a.shares_storage_with(&b), "mutation unshares");
+        assert_eq!(a.entries(), &[1, 2, 3]);
+        assert_eq!(b.entries(), &[9, 2, 3]);
     }
 
     #[test]

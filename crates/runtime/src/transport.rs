@@ -223,6 +223,14 @@ pub(crate) fn spawn_router<P: Clone + Send + 'static>(
                 let now = Instant::now();
                 match incoming {
                     Some(RouterMsg::Broadcast { from, message }) => {
+                        // Fan-out shares, never copies: `message.clone()`
+                        // below bumps refcounts — the R-entry stamp lives
+                        // behind `Timestamp`'s copy-on-write `Arc` and a
+                        // `Bytes` payload is a slice handle — so one
+                        // broadcast materializes one stamp and one payload
+                        // no matter how many receivers it reaches (the
+                        // cluster test `fanout_shares_one_stamp_and_payload`
+                        // pins this down by pointer identity).
                         let base = latency.sample_base(&mut rng);
                         for (target, _) in inboxes.iter().enumerate() {
                             if target == from.index() {

@@ -147,3 +147,32 @@ fn broadcast_after_shutdown_errors() {
     assert_eq!(handle_ids.len(), 2);
     cluster.shutdown();
 }
+
+#[test]
+fn fanout_shares_one_stamp_and_payload() {
+    // Tentpole: a broadcast must materialize ONE stamp and ONE payload
+    // allocation no matter how many receivers it fans out to. The
+    // router's per-target `message.clone()` is a refcount bump — every
+    // delivered copy points at the same `Timestamp` storage (Arc
+    // copy-on-write) and, for `Bytes` payloads, at the very allocation
+    // the caller handed to `broadcast`.
+    use bytes::Bytes;
+    let cluster = Cluster::<Bytes>::start(ClusterConfig::quick(5)).unwrap();
+    let payload = Bytes::from(vec![0xAB; 64]);
+    cluster.node(0).broadcast(payload.clone()).unwrap();
+    let got: Vec<_> = (1..5)
+        .map(|i| cluster.node(i).deliveries().recv_timeout(RECV_TIMEOUT).unwrap().message)
+        .collect();
+    for (i, m) in got.iter().enumerate() {
+        assert_eq!(
+            m.payload().as_ptr(),
+            payload.as_ptr(),
+            "receiver {i}: payload was copied somewhere on the broadcast path"
+        );
+        assert!(
+            m.timestamp().shares_storage_with(got[0].timestamp()),
+            "receiver {i}: stamp was deep-copied on the broadcast path"
+        );
+    }
+    cluster.shutdown();
+}

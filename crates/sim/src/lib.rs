@@ -33,6 +33,7 @@ pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod oracle;
+pub mod pool;
 pub mod report;
 pub mod rng;
 pub mod runner;

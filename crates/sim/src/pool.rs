@@ -1,0 +1,90 @@
+//! Deterministic scoped worker pool for sweep fan-out.
+//!
+//! Sweep points and their replications are embarrassingly parallel: every
+//! job derives its own seed ([`crate::rng::derive_seed`]) before it is
+//! scheduled, so a job's result depends only on its index, never on which
+//! worker ran it or in what order. This pool exploits that: jobs are
+//! claimed from a shared atomic counter (no work queue, no channels) and
+//! results are returned **in job-index order**, so downstream
+//! merging/rendering is byte-identical at any thread count — including
+//! `threads == 1`, which degenerates to a plain serial loop on the
+//! calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads to use by default: the machine's
+/// available parallelism, or 1 if it cannot be determined.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `count` jobs on up to `threads` scoped workers and returns their
+/// results **indexed by job**, independent of scheduling.
+///
+/// `job(i)` must be pure with respect to `i` (true for seeded sweep
+/// replications). With `threads <= 1` (or a single job) everything runs
+/// on the calling thread with no synchronization.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn run_indexed<T, F>(threads: usize, count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(count);
+    if threads <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = job(i);
+                collected.lock().expect("pool results poisoned").push((i, result));
+            });
+        }
+    });
+    let mut results = collected.into_inner().expect("pool results poisoned");
+    results.sort_unstable_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_at_any_thread_count() {
+        let serial = run_indexed(1, 64, |i| i * i);
+        for threads in [2, 3, 8, 100] {
+            assert_eq!(run_indexed(threads, 64, |i| i * i), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_threads_are_fine() {
+        assert!(run_indexed(8, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        let _ = run_indexed(8, 200, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -152,9 +152,12 @@ mod tests {
 
     #[test]
     fn table_and_csv_render() {
-        let rows =
-            figure3(crate::runner::SweepOptions { scale: 0.01, seed: 1, reps: 1 }, &[30], &[1, 2])
-                .unwrap();
+        let rows = figure3(
+            crate::runner::SweepOptions { scale: 0.01, seed: 1, reps: 1, threads: 1 },
+            &[30],
+            &[1, 2],
+        )
+        .unwrap();
         let table = render_table("Figure 3 (mini)", "N", &rows, |p| p.n.to_string());
         assert!(table.contains("Figure 3 (mini)"));
         assert!(table.lines().count() >= 4);

@@ -17,6 +17,7 @@ use crate::config::SimConfig;
 use crate::engine::{simulate_prob, simulate_vector, SimError};
 use crate::fault::FaultPlan;
 use crate::metrics::RunMetrics;
+use crate::pool;
 use crate::rng::derive_seed;
 
 /// The paper's vector length for all §5.4 experiments.
@@ -39,11 +40,17 @@ pub struct SweepOptions {
     pub seed: u64,
     /// Independent replications pooled per point.
     pub reps: usize,
+    /// Worker threads fanning `points × reps` jobs out across cores.
+    /// Every replication derives its seed from `(seed, point, rep)` alone
+    /// and results are merged in job order, so tables and CSVs are
+    /// byte-identical at any thread count. Defaults to 1 (serial); the
+    /// `pcb-bench` binaries default to the machine's available cores.
+    pub threads: usize,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        Self { scale: 0.25, seed: 1, reps: 3 }
+        Self { scale: 0.25, seed: 1, reps: 3, threads: 1 }
     }
 }
 
@@ -52,6 +59,12 @@ impl SweepOptions {
     #[must_use]
     pub fn with_scale(scale: f64) -> Self {
         Self { scale, ..Self::default() }
+    }
+
+    /// These options with the given worker-thread count.
+    #[must_use]
+    pub fn with_threads(self, threads: usize) -> Self {
+        Self { threads, ..self }
     }
 }
 
@@ -105,14 +118,37 @@ impl SweepPoint {
     }
 }
 
-fn run_point(cfg: &SimConfig, k: usize, reps: usize) -> Result<SweepPoint, SimError> {
-    let space = KeySpace::new(PAPER_R, k).map_err(|e| SimError::InvalidConfig(e.to_string()))?;
-    let mut pooled = RunMetrics::default();
-    for rep in 0..reps.max(1) {
-        let cfg = SimConfig { seed: derive_seed(cfg.seed, 1000 + rep as u64), ..cfg.clone() };
-        pooled.merge(&simulate_prob(&cfg, space)?);
-    }
-    Ok(SweepPoint::build(cfg, k, pooled))
+/// Runs a list of `(config, k)` sweep points, fanning the
+/// `points × reps` replication grid across `opts.threads` workers.
+///
+/// Determinism: each replication's seed is `derive_seed(cfg.seed,
+/// 1000 + rep)` — exactly what the serial loop used — and per-point
+/// metrics are merged in replication order, so the pooled counts (and
+/// every float in them) are bit-identical at any thread count.
+fn run_points(
+    opts: SweepOptions,
+    specs: &[(SimConfig, usize)],
+) -> Result<Vec<SweepPoint>, SimError> {
+    let reps = opts.reps.max(1);
+    let results = pool::run_indexed(opts.threads, specs.len() * reps, |job| {
+        let (cfg, k) = &specs[job / reps];
+        let space =
+            KeySpace::new(PAPER_R, *k).map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+        let rep = (job % reps) as u64;
+        let cfg = SimConfig { seed: derive_seed(cfg.seed, 1000 + rep), ..cfg.clone() };
+        simulate_prob(&cfg, space)
+    });
+    specs
+        .iter()
+        .enumerate()
+        .map(|(pi, (cfg, k))| {
+            let mut pooled = RunMetrics::default();
+            for rep in 0..reps {
+                pooled.merge(results[pi * reps + rep].as_ref().map_err(Clone::clone)?);
+            }
+            Ok(SweepPoint::build(cfg, *k, pooled))
+        })
+        .collect()
 }
 
 /// **Figure 3**: error rate vs `K` for several population sizes, with the
@@ -128,15 +164,15 @@ pub fn figure3(
     ns: &[usize],
     ks: &[usize],
 ) -> Result<Vec<SweepPoint>, SimError> {
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for &n in ns {
         for &k in ks {
             let cfg =
                 SimConfig { n, ..base_config(opts) }.with_constant_receive_rate(PAPER_RECEIVE_RATE);
-            rows.push(run_point(&cfg, k, opts.reps)?);
+            specs.push((cfg, k));
         }
     }
-    Ok(rows)
+    run_points(opts, &specs)
 }
 
 /// Default sweep axes for [`figure3`] (the paper's four population sizes
@@ -154,13 +190,14 @@ pub fn figure3_defaults() -> (Vec<usize>, Vec<usize>) {
 ///
 /// Propagates the first simulation failure.
 pub fn figure4(opts: SweepOptions, lambdas_ms: &[f64]) -> Result<Vec<SweepPoint>, SimError> {
-    lambdas_ms
+    let specs: Vec<_> = lambdas_ms
         .iter()
         .map(|&lambda| {
             let cfg = SimConfig { n: PAPER_N, mean_send_interval_ms: lambda, ..base_config(opts) };
-            run_point(&cfg, PAPER_K, opts.reps)
+            (cfg, PAPER_K)
         })
-        .collect()
+        .collect();
+    run_points(opts, &specs)
 }
 
 /// Default λ axis for [`figure4`] (ms).
@@ -177,12 +214,14 @@ pub fn figure4_defaults() -> Vec<f64> {
 ///
 /// Propagates the first simulation failure.
 pub fn figure5(opts: SweepOptions, ns: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
-    ns.iter()
+    let specs: Vec<_> = ns
+        .iter()
         .map(|&n| {
             let cfg = SimConfig { n, mean_send_interval_ms: PAPER_LAMBDA_MS, ..base_config(opts) };
-            run_point(&cfg, PAPER_K, opts.reps)
+            (cfg, PAPER_K)
         })
-        .collect()
+        .collect();
+    run_points(opts, &specs)
 }
 
 /// Default `N` axis for [`figure5`].
@@ -199,13 +238,15 @@ pub fn figure5_defaults() -> Vec<usize> {
 ///
 /// Propagates the first simulation failure.
 pub fn figure6(opts: SweepOptions, ns: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
-    ns.iter()
+    let specs: Vec<_> = ns
+        .iter()
         .map(|&n| {
             let cfg =
                 SimConfig { n, ..base_config(opts) }.with_constant_receive_rate(PAPER_RECEIVE_RATE);
-            run_point(&cfg, PAPER_K, opts.reps)
+            (cfg, PAPER_K)
         })
-        .collect()
+        .collect();
+    run_points(opts, &specs)
 }
 
 /// Default `N` axis for [`figure6`].
@@ -322,7 +363,7 @@ mod tests {
     use super::*;
 
     fn tiny(scale: f64, seed: u64) -> SweepOptions {
-        SweepOptions { scale, seed, reps: 1 }
+        SweepOptions { scale, seed, reps: 1, threads: 1 }
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Determinism of the parallel sweep runner: thread count is a pure
+//! wall-clock knob. Every rendered artifact — tables, CSV rows, chaos
+//! outcomes — must be **byte-identical** at any `threads` setting,
+//! because each replication's seed is a function of (point, rep) alone
+//! and results are merged in fixed index order.
+
+use pcb_clock::KeySpace;
+use pcb_sim::{chaos_run, chaos_run_vector, report, runner, RunMetrics, SweepOptions};
+
+/// Debug-formats a run's metrics with the one legitimately
+/// nondeterministic field (measured wall-clock time) zeroed out.
+fn fingerprint(metrics: &RunMetrics) -> String {
+    let mut m = metrics.clone();
+    m.wall_secs = 0.0;
+    format!("{m:?}")
+}
+
+/// A figure-3 sweep small enough for CI but with enough points (3 × 3
+/// × 2 reps = 18 jobs) that an order-dependent merge would be caught.
+fn sweep(threads: usize) -> (String, String) {
+    let opts = SweepOptions { scale: 0.02, seed: 11, reps: 2, threads };
+    let points = runner::figure3(opts, &[40, 60, 80], &[2, 4, 6]).expect("sweep runs");
+    let table = report::render_table("Figure 3", "N", &points, |p| p.n.to_string());
+    let csv = report::render_csv(&points);
+    (table, csv)
+}
+
+#[test]
+fn figure3_rows_are_byte_identical_across_thread_counts() {
+    let (table_1, csv_1) = sweep(1);
+    for threads in [2, 8] {
+        let (table_t, csv_t) = sweep(threads);
+        assert_eq!(table_1, table_t, "table diverged at {threads} threads");
+        assert_eq!(csv_1, csv_t, "csv diverged at {threads} threads");
+    }
+    // Sanity: the sweep actually produced all nine points.
+    assert_eq!(csv_1.lines().count(), 1 + 9, "header plus one row per point");
+}
+
+#[test]
+fn chaos_outcomes_are_identical_and_violation_free_under_parallelism() {
+    // The chaos_soak fan-out shape: (seed, discipline) jobs spread
+    // across workers must reproduce the serial outcomes exactly, and
+    // the safety oracle must report zero undetected violations.
+    let seeds = [3u64, 17, 41];
+    let space = KeySpace::new(100, 4).expect("paper space");
+    let serial: Vec<String> = seeds
+        .iter()
+        .flat_map(|&s| {
+            let p = chaos_run(s, 7, 1500.0, space).expect("prob run");
+            let v = chaos_run_vector(s, 7, 1500.0).expect("vector run");
+            [fingerprint(&p.metrics), fingerprint(&v.metrics)]
+        })
+        .collect();
+
+    let parallel = pcb_sim::pool::run_indexed(4, seeds.len() * 2, |job| {
+        let seed = seeds[job / 2];
+        let outcome = if job % 2 == 0 {
+            chaos_run(seed, 7, 1500.0, space).expect("prob run")
+        } else {
+            chaos_run_vector(seed, 7, 1500.0).expect("vector run")
+        };
+        assert_eq!(
+            outcome.metrics.undetected_violations, 0,
+            "seed {seed}: oracle saw a violation no detector alerted on"
+        );
+        fingerprint(&outcome.metrics)
+    });
+
+    assert_eq!(serial, parallel, "parallel chaos runs diverged from serial replay");
+}

@@ -6,6 +6,7 @@
 #   scripts/verify.sh --tier1  # just the tier-1 gate (what CI enforces)
 #   scripts/verify.sh --chaos  # the above plus a deterministic chaos soak
 #   scripts/verify.sh --trace  # the above plus the observability gate
+#   scripts/verify.sh --perf   # the above plus hot-path regression gates
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,6 +59,16 @@ if [[ "${1:-}" == "--trace" ]]; then
     run cargo run --release -p pcb-bench --bin trace_explain -- --verify
     run cargo run --release -p pcb-bench --bin telemetry_overhead
     run cargo test -p pcb-telemetry --no-default-features -q
+fi
+
+# Optional perf stage: measures the hot paths into BENCH_pr4.json and
+# enforces the regression thresholds — delta frames ≤ 0.35× full-vector
+# bytes at (R=100, K=4) steady state; the 8-thread figure-3 sweep ≥ 4×
+# the 1-thread wall-clock (enforced only on ≥ 8 cores); the pending
+# wake-up engine still at ≤ 1.05 wakeups/delivery with unit fan-out on
+# its reversed-FIFO worst case (PR 1's numbers).
+if [[ "${1:-}" == "--perf" ]]; then
+    run cargo run --release -p pcb-bench --bin bench_report -- --check
 fi
 
 echo "verify: OK"

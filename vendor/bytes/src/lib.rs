@@ -11,9 +11,14 @@ use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable window over shared bytes.
+///
+/// Backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that
+/// `From<Vec<u8>>` (and therefore [`BytesMut::freeze`]) adopts the
+/// vector's existing heap allocation instead of memcpying it into a new
+/// one — freezing an encoded frame is pointer-preserving.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -31,6 +36,13 @@ impl Bytes {
         // The stand-in has no borrowed variant; one copy into shared
         // storage keeps the type simple and the API identical.
         Self::from(bytes.to_vec())
+    }
+
+    /// Address of the first visible byte. Exposed so callers can assert
+    /// that a freeze/clone chain preserved the underlying allocation.
+    #[must_use]
+    pub fn as_ptr(&self) -> *const u8 {
+        self.data[self.start..].as_ptr()
     }
 
     /// Length of the window.
@@ -100,9 +112,8 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
-        Self { data, start: 0, end }
+        let end = v.len();
+        Self { data: Arc::new(v), start: 0, end }
     }
 }
 
@@ -174,10 +185,18 @@ impl BytesMut {
         self.data.clear();
     }
 
-    /// Converts into an immutable [`Bytes`].
+    /// Converts into an immutable [`Bytes`] without copying: the backing
+    /// `Vec` moves into shared storage and keeps its heap allocation.
     #[must_use]
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Address of the first byte written; pairs with [`Bytes::as_ptr`]
+    /// for zero-copy assertions across a freeze.
+    #[must_use]
+    pub fn as_ptr(&self) -> *const u8 {
+        self.data.as_ptr()
     }
 }
 
@@ -306,6 +325,17 @@ mod tests {
         b.advance(2);
         assert_eq!(b.get_u8(), 3);
         assert_eq!(b.remaining(), 1);
+    }
+
+    #[test]
+    fn freeze_preserves_the_allocation() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_slice(b"payload bytes");
+        let before = b.as_ptr();
+        let frozen = b.freeze();
+        assert_eq!(frozen.as_ptr(), before, "freeze must not copy");
+        let cloned = frozen.clone();
+        assert_eq!(cloned.as_ptr(), before, "clone must share storage");
     }
 
     #[test]
