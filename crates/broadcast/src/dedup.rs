@@ -54,6 +54,29 @@ impl DedupFilter {
         true
     }
 
+    /// Un-marks `id`, so a later arrival of the same id is treated as
+    /// new again. Returns `true` if the id was recorded. Used when
+    /// snapshotting: ids that are *pending* (received but not delivered)
+    /// must not be claimed by the durable seen-set, or a crash between
+    /// receipt and delivery would make them unrecoverable.
+    pub fn remove(&mut self, id: MessageId) -> bool {
+        let Some(window) = self.windows.get_mut(&id.sender()) else {
+            return false;
+        };
+        let seq = id.seq();
+        if seq > window.prefix {
+            return window.exceptions.remove(&seq);
+        }
+        if seq == 0 {
+            return false;
+        }
+        // Re-open a hole inside the contiguous prefix: everything after
+        // `seq` that the prefix covered becomes an explicit exception.
+        window.exceptions.extend(seq + 1..=window.prefix);
+        window.prefix = seq - 1;
+        true
+    }
+
     /// Whether `id` has been seen.
     #[must_use]
     pub fn contains(&self, id: MessageId) -> bool {
@@ -160,6 +183,28 @@ mod tests {
         let mut seen: Vec<u64> = filter.iter().map(MessageId::seq).collect();
         seen.sort_unstable();
         assert_eq!(seen, vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn remove_reopens_holes_anywhere_in_the_window() {
+        let mut filter = DedupFilter::new();
+        for seq in [1, 2, 3, 6] {
+            filter.insert(id(0, seq));
+        }
+        // Exception removal.
+        assert!(filter.remove(id(0, 6)));
+        assert!(!filter.contains(id(0, 6)));
+        // Mid-prefix removal splits the prefix into exceptions.
+        assert!(filter.remove(id(0, 2)));
+        assert!(!filter.contains(id(0, 2)));
+        assert!(filter.contains(id(0, 1)));
+        assert!(filter.contains(id(0, 3)));
+        // Removed ids insert as new; absorbing heals the prefix again.
+        assert!(filter.insert(id(0, 2)));
+        assert_eq!(filter.exception_count(), 0);
+        // Unknown ids and unknown senders are no-ops.
+        assert!(!filter.remove(id(0, 9)));
+        assert!(!filter.remove(id(5, 1)));
     }
 
     #[test]

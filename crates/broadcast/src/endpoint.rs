@@ -1,0 +1,783 @@
+//! Sans-IO endpoint state machine: the *entire* per-process protocol
+//! behind one pure, time-injected function.
+//!
+//! [`Endpoint`] owns everything a correct process must do — Algorithms
+//! 1–5 via [`PcbProcess`], duplicate suppression, the §4.2 recovery /
+//! anti-entropy driver (stale-pending probe, quiescence probe with
+//! capped exponential backoff, sync timeout), the anti-entropy
+//! [`MessageStore`], and crash-durable snapshot/restore. It contains no
+//! threads, channels, sockets, or wall clocks: every stimulus arrives as
+//! an [`Input`] with an explicit `now_us` timestamp, and every effect
+//! leaves as an [`Output`] the caller must route. The same state machine
+//! therefore runs unchanged under
+//!
+//! * the **discrete-event simulator** (`pcb-sim`), which schedules the
+//!   outputs as virtual-time events and checks them against the exact
+//!   causal oracle, and
+//! * the **threaded live runtime** (`pcb-runtime`), which routes them
+//!   over real channels on wall-clock time.
+//!
+//! Because both shells drive this one type, the chaos engine and the
+//! exact checker certify the code that serves live traffic — not a
+//! simulator-private reimplementation of it.
+//!
+//! # Time
+//!
+//! All times are **microseconds** on whatever monotone clock the shell
+//! chooses (virtual time in the simulator, time since an epoch in the
+//! live runtime). The unit is in every name (`now_us`,
+//! [`RecoveryTimingUs`]); shells convert exactly once, at the boundary.
+//!
+//! # Driving the machine
+//!
+//! ```
+//! use pcb_broadcast::endpoint::{Endpoint, Input, Output, RecoveryTimingUs};
+//! use pcb_broadcast::PcbConfig;
+//! use pcb_clock::{KeySet, KeySpace, ProcessId};
+//!
+//! let space = KeySpace::new(4, 2)?;
+//! let timing = Some(RecoveryTimingUs::default());
+//! let mut a = Endpoint::new(
+//!     ProcessId::new(0),
+//!     KeySet::from_entries(space, &[0, 1])?,
+//!     PcbConfig::default(),
+//!     timing,
+//! );
+//! let mut b = Endpoint::new(
+//!     ProcessId::new(1),
+//!     KeySet::from_entries(space, &[1, 2])?,
+//!     PcbConfig::default(),
+//!     timing,
+//! );
+//!
+//! // Shell's job: route outputs. A SendFrame from `a` becomes a
+//! // FrameReceived at `b` whenever the transport decides it arrives.
+//! let mut frame = None;
+//! for out in a.handle(Input::Broadcast("hi"), 1_000) {
+//!     if let Output::SendFrame(m) = out {
+//!         frame = Some(m);
+//!     }
+//! }
+//! let outs = b.handle(Input::FrameReceived(frame.unwrap()), 2_000);
+//! assert!(matches!(outs[0], Output::Deliver(ref d) if *d.message.payload() == "hi"));
+//! # Ok::<(), pcb_clock::KeyError>(())
+//! ```
+
+use pcb_clock::{KeySet, ProcessId};
+use pcb_telemetry::{TraceEvent, TraceRecord, Tracer};
+
+use crate::message::{Message, MessageId};
+use crate::pending::WakeupStats;
+use crate::process::{Delivery, PcbConfig, PcbProcess, ProcessStats};
+use crate::recovery::{Counters, MessageStore, SyncRequest};
+use crate::snapshot::ProcessSnapshot;
+
+/// Store retention when no recovery timing is configured (5 s).
+const DEFAULT_STORE_WINDOW_US: u64 = 5_000_000;
+
+/// Recovery/anti-entropy timing, **all fields in microseconds** of the
+/// shell's monotone clock. `None` at [`Endpoint::new`] disables the
+/// whole §4.2 driver (no probes, no snapshots, no tick chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryTimingUs {
+    /// A pending message older than this (or an idle spell this long)
+    /// triggers an anti-entropy probe.
+    pub stale_after_us: u64,
+    /// Cadence of the [`Output::ScheduleTick`] chain — how often the
+    /// shell should feed [`Input::Tick`] back in.
+    pub poll_every_us: u64,
+    /// How long delivered messages stay re-fetchable in the store.
+    pub store_window_us: u64,
+    /// Cadence of durable snapshots.
+    pub snapshot_every_us: u64,
+    /// How long an unanswered sync request stays in flight before the
+    /// endpoint may probe again.
+    pub sync_timeout_us: u64,
+}
+
+impl Default for RecoveryTimingUs {
+    /// Mirrors the live runtime's `RecoveryConfig` defaults.
+    fn default() -> Self {
+        Self {
+            stale_after_us: 100_000,
+            poll_every_us: 25_000,
+            store_window_us: DEFAULT_STORE_WINDOW_US,
+            snapshot_every_us: 250_000,
+            sync_timeout_us: 400_000,
+        }
+    }
+}
+
+/// Everything that can happen *to* an endpoint. Shells translate their
+/// transport/timer/operator events into exactly these.
+#[derive(Debug, Clone)]
+pub enum Input<P> {
+    /// A broadcast frame arrived from the transport.
+    FrameReceived(Message<P>),
+    /// A peer asked for everything we have that it has not seen.
+    SyncRequest {
+        /// The requesting process (route the reply back to it).
+        from: ProcessId,
+        /// Message ids the requester already has.
+        known: Vec<MessageId>,
+    },
+    /// A peer answered our [`Output::RequestSync`].
+    SyncResponse(Vec<Message<P>>),
+    /// Timer fired (the shell's answer to [`Output::ScheduleTick`]).
+    Tick,
+    /// The application wants to broadcast `P`.
+    Broadcast(P),
+    /// The process crashed: volatile state is lost, only the last
+    /// durable snapshot and the send WAL survive.
+    Crash,
+    /// The operator restarted the process; recover from the snapshot.
+    Restore,
+}
+
+/// Everything an endpoint wants *done*. Pure data — the shell routes
+/// each one (or deliberately ignores it, e.g. a thread-based shell that
+/// has its own timer needs no [`Output::ScheduleTick`]).
+#[derive(Debug, Clone)]
+pub enum Output<P> {
+    /// Hand this message to the application (already inserted into the
+    /// endpoint's own [`MessageStore`] — shells must not buffer it
+    /// again).
+    Deliver(Delivery<P>),
+    /// Broadcast this frame to every peer.
+    SendFrame(Message<P>),
+    /// Ask a peer for anything not in `known`. Peer choice is the
+    /// shell's (the live router rotates; the simulator rotates
+    /// deterministically).
+    RequestSync {
+        /// Every message id this endpoint already has.
+        known: Vec<MessageId>,
+    },
+    /// Unicast answer to an [`Input::SyncRequest`].
+    SyncReply {
+        /// The requester.
+        to: ProcessId,
+        /// Messages it was missing.
+        messages: Vec<Message<P>>,
+    },
+    /// Feed [`Input::Tick`] back at (or after) `at_us`.
+    ScheduleTick {
+        /// Absolute microsecond deadline on the shell's clock.
+        at_us: u64,
+    },
+    /// A delivery-error detector fired on the delivery just emitted.
+    Alert {
+        /// Which detector: 4 (instant coverage) or 5 (recent list).
+        alg: u8,
+        /// Originating process of the suspect message.
+        sender: ProcessId,
+        /// Its per-sender sequence number.
+        seq: u64,
+    },
+    /// A durable snapshot was just taken (shells with oracles checkpoint
+    /// their shadow state here; persistent shells write it out via
+    /// [`Endpoint::stable_snapshot`]).
+    SnapshotReady {
+        /// When the snapshot was cut.
+        at_us: u64,
+    },
+}
+
+/// A point-in-time health report — the same shape the live runtime's
+/// `NodeStatus` exposes.
+#[derive(Debug, Clone)]
+pub struct EndpointStatus {
+    /// Protocol counters (sends, deliveries, alerts, duplicates).
+    pub stats: ProcessStats,
+    /// Messages currently blocked in the pending queue.
+    pub pending: usize,
+    /// The probabilistic clock vector.
+    pub clock: pcb_clock::Timestamp,
+    /// Recovery-health counters (syncs, re-fetches, snapshots).
+    pub recovery: Counters,
+    /// Deliveries that arrived via anti-entropy rather than a frame.
+    pub recovered: u64,
+    /// Times the idle-probe backoff was reset by fresh evidence.
+    pub backoff_resets: u64,
+    /// Whether the endpoint is currently crashed.
+    pub crashed: bool,
+    /// Wake-up index work counters.
+    pub wakeup: WakeupStats,
+}
+
+/// The sans-IO per-process protocol state machine. See the module docs
+/// for the contract; construct with [`Endpoint::new`], drive with
+/// [`Endpoint::handle`].
+#[derive(Debug)]
+pub struct Endpoint<P> {
+    id: ProcessId,
+    keys: KeySet,
+    config: PcbConfig,
+    timing: Option<RecoveryTimingUs>,
+    process: PcbProcess<P>,
+    store: MessageStore<P>,
+    counters: Counters,
+    recovered: u64,
+    sync_in_flight: bool,
+    sync_sent_at_us: u64,
+    last_activity_us: u64,
+    next_idle_sync_us: u64,
+    idle_backoff_us: u64,
+    crashed: bool,
+    stable: Option<ProcessSnapshot<P>>,
+    durable_seq: u64,
+    next_snapshot_us: u64,
+    backoff_resets: u64,
+}
+
+impl<P: Clone> Endpoint<P> {
+    /// Creates an endpoint. `timing: None` disables recovery entirely —
+    /// the endpoint still broadcasts, delivers, and answers sync
+    /// requests, but never probes, snapshots, or schedules ticks.
+    #[must_use]
+    pub fn new(
+        id: ProcessId,
+        keys: KeySet,
+        config: PcbConfig,
+        timing: Option<RecoveryTimingUs>,
+    ) -> Self {
+        let process = PcbProcess::with_config(id, keys.clone(), config.clone());
+        let store_window = timing.map_or(DEFAULT_STORE_WINDOW_US, |timing| timing.store_window_us);
+        let (idle_backoff_us, next_snapshot_us) = match timing {
+            Some(timing) => (timing.stale_after_us, timing.snapshot_every_us.max(1)),
+            None => (0, u64::MAX),
+        };
+        Self {
+            id,
+            keys,
+            config,
+            timing,
+            process,
+            store: MessageStore::new(store_window),
+            counters: Counters::default(),
+            recovered: 0,
+            sync_in_flight: false,
+            sync_sent_at_us: 0,
+            last_activity_us: 0,
+            next_idle_sync_us: 0,
+            idle_backoff_us,
+            crashed: false,
+            stable: None,
+            durable_seq: 0,
+            next_snapshot_us,
+            backoff_resets: 0,
+        }
+    }
+
+    /// Feeds one stimulus into the state machine at microsecond `now_us`
+    /// and returns the effects the shell must carry out, in order.
+    ///
+    /// A crashed endpoint is deaf: it reacts only to [`Input::Tick`]
+    /// (keeping the tick chain alive for the eventual restart) and
+    /// [`Input::Restore`]; frames, broadcasts, and sync traffic fall on
+    /// the floor exactly as they would at a dead process.
+    pub fn handle(&mut self, input: Input<P>, now_us: u64) -> Vec<Output<P>> {
+        let mut out = Vec::new();
+        if self.crashed {
+            match input {
+                Input::Tick => self.schedule_tick(now_us, &mut out),
+                Input::Restore => self.restore(now_us, &mut out),
+                _ => {}
+            }
+            return out;
+        }
+        // Recovery health is checked on *every* stimulus, not only
+        // ticks: a busy inbox must not suppress snapshots or probes.
+        self.maybe_snapshot(now_us, &mut out);
+        self.maybe_request_sync(now_us, &mut out);
+        match input {
+            Input::FrameReceived(message) => {
+                self.last_activity_us = now_us;
+                self.reset_idle_backoff();
+                self.accept(message, false, now_us, &mut out);
+                self.maybe_request_sync(now_us, &mut out);
+            }
+            Input::SyncRequest { from, known } => {
+                let response = self.store.handle_sync(&SyncRequest::new(known));
+                self.counters.sync_served += 1;
+                // Always reply, even when empty: the requester's backoff
+                // doubling needs to observe the emptiness.
+                out.push(Output::SyncReply { to: from, messages: response.messages });
+            }
+            Input::SyncResponse(messages) => {
+                self.on_sync_response(messages, now_us, &mut out);
+            }
+            Input::Tick => self.schedule_tick(now_us, &mut out),
+            Input::Broadcast(payload) => {
+                // Write-ahead: the sequence number becomes durable before
+                // the send's effects exist anywhere, so a crash between
+                // the two can only lose the message, never reuse a stamp.
+                self.durable_seq += 1;
+                self.process.set_now(now_us);
+                let message = self.process.broadcast(payload);
+                self.store.insert(now_us, message.clone());
+                out.push(Output::SendFrame(message));
+            }
+            Input::Crash => {
+                self.crashed = true;
+                self.sync_in_flight = false;
+            }
+            Input::Restore => {} // not crashed: nothing to restore
+        }
+        out
+    }
+
+    /// This endpoint's process id.
+    #[must_use]
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Whether the endpoint is currently crashed (deaf).
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Messages blocked in the pending queue.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.process.pending_len()
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> ProcessStats {
+        self.process.stats()
+    }
+
+    /// Wake-up index work counters.
+    #[must_use]
+    pub fn wakeup_stats(&self) -> WakeupStats {
+        self.process.wakeup_stats()
+    }
+
+    /// Recovery-health counters.
+    #[must_use]
+    pub fn recovery_counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Deliveries that arrived via anti-entropy re-fetch.
+    #[must_use]
+    pub fn recovered_deliveries(&self) -> u64 {
+        self.recovered
+    }
+
+    /// The anti-entropy message store (delivered + own messages within
+    /// the retention window).
+    #[must_use]
+    pub fn store(&self) -> &MessageStore<P> {
+        &self.store
+    }
+
+    /// The last durable snapshot, if one has been cut. Persistent shells
+    /// write this out when they see [`Output::SnapshotReady`].
+    #[must_use]
+    pub fn stable_snapshot(&self) -> Option<&ProcessSnapshot<P>> {
+        self.stable.as_ref()
+    }
+
+    /// Full health report.
+    #[must_use]
+    pub fn status(&self) -> EndpointStatus {
+        EndpointStatus {
+            stats: self.process.stats(),
+            pending: self.process.pending_len(),
+            clock: self.process.clock().vector().clone(),
+            recovery: self.counters,
+            recovered: self.recovered,
+            backoff_resets: self.backoff_resets,
+            crashed: self.crashed,
+            wakeup: self.process.wakeup_stats(),
+        }
+    }
+
+    /// Drains buffered lifecycle-trace records, oldest first.
+    pub fn drain_trace(&mut self) -> Vec<TraceRecord> {
+        self.process.drain_trace()
+    }
+
+    /// Delivers `message` (and whatever it unblocks), inserting each
+    /// delivery into the store and emitting `Deliver` plus detector
+    /// `Alert`s. Returns whether anything was delivered.
+    fn accept(
+        &mut self,
+        message: Message<P>,
+        refetched: bool,
+        now_us: u64,
+        out: &mut Vec<Output<P>>,
+    ) -> bool {
+        let deliveries = self.process.on_receive(message, now_us);
+        let any = !deliveries.is_empty();
+        for delivery in deliveries {
+            // The store insert is a stamp-refcount bump plus a payload
+            // clone, not a deep copy (`Message` stamps are shared).
+            self.store.insert(now_us, delivery.message.clone());
+            self.recovered += u64::from(refetched);
+            let (sender, seq) = (delivery.message.id().sender(), delivery.message.id().seq());
+            let (instant, recent) = (delivery.instant_alert, delivery.recent_alert);
+            out.push(Output::Deliver(delivery));
+            if instant {
+                out.push(Output::Alert { alg: 4, sender, seq });
+            }
+            if recent {
+                out.push(Output::Alert { alg: 5, sender, seq });
+            }
+        }
+        any
+    }
+
+    fn on_sync_response(
+        &mut self,
+        messages: Vec<Message<P>>,
+        now_us: u64,
+        out: &mut Vec<Output<P>>,
+    ) {
+        self.sync_in_flight = false;
+        self.counters.refetched += messages.len() as u64;
+        self.process.set_now(now_us);
+        for message in &messages {
+            let (sender, seq) = (message.id().sender().index() as u32, message.id().seq());
+            self.process.tracer_mut().emit(|| TraceEvent::Refetched { sender, seq });
+        }
+        let mut delivered_any = false;
+        for message in messages {
+            delivered_any |= self.accept(message, true, now_us, out);
+        }
+        if let Some(timing) = self.timing {
+            if delivered_any {
+                self.reset_idle_backoff();
+            } else {
+                // Nothing new anywhere: quiesce. Double the idle-probe
+                // interval up to a cap so a healed, converged cluster
+                // stops probe-storming but still self-checks.
+                let cap = timing.stale_after_us * 8;
+                self.next_idle_sync_us = now_us + self.idle_backoff_us;
+                self.idle_backoff_us = (self.idle_backoff_us * 2).min(cap.max(1));
+            }
+        }
+        self.maybe_request_sync(now_us, out);
+    }
+
+    fn schedule_tick(&self, now_us: u64, out: &mut Vec<Output<P>>) {
+        if let Some(timing) = self.timing {
+            out.push(Output::ScheduleTick { at_us: now_us + timing.poll_every_us.max(1) });
+        }
+    }
+
+    fn maybe_snapshot(&mut self, now_us: u64, out: &mut Vec<Output<P>>) {
+        let Some(timing) = self.timing else { return };
+        if now_us < self.next_snapshot_us {
+            return;
+        }
+        self.stable = Some(self.process.snapshot(&self.store));
+        self.counters.snapshots_taken += 1;
+        self.process.set_now(now_us);
+        self.process.tracer_mut().emit(|| TraceEvent::SnapshotTaken);
+        out.push(Output::SnapshotReady { at_us: now_us });
+        self.next_snapshot_us = now_us + timing.snapshot_every_us.max(1);
+    }
+
+    /// The §4.2 probe decision: fire a sync request if (a) none is in
+    /// flight (or the last one timed out), and (b) either a pending
+    /// message has gone stale — a lost dependency, probed at full poll
+    /// cadence — or the endpoint has been idle past its (backoff-grown)
+    /// quiescence interval.
+    fn maybe_request_sync(&mut self, now_us: u64, out: &mut Vec<Output<P>>) {
+        let Some(timing) = self.timing else { return };
+        if self.sync_in_flight {
+            if now_us.saturating_sub(self.sync_sent_at_us) < timing.sync_timeout_us.max(1) {
+                return;
+            }
+            self.sync_in_flight = false;
+        }
+        let stale = timing.stale_after_us;
+        let pending_stale = self.process.oldest_pending_age(now_us).is_some_and(|age| age >= stale);
+        let idle_probe = now_us.saturating_sub(self.last_activity_us) >= stale
+            && now_us >= self.next_idle_sync_us;
+        if !pending_stale && !idle_probe {
+            return;
+        }
+        let known: Vec<MessageId> = self.process.seen_ids().collect();
+        self.counters.sync_requests += 1;
+        self.sync_in_flight = true;
+        self.sync_sent_at_us = now_us;
+        out.push(Output::RequestSync { known });
+    }
+
+    /// Re-arms the quiescence probe at its minimum interval (new traffic
+    /// or a successful recovery means more losses may follow shortly).
+    fn reset_idle_backoff(&mut self) {
+        if let Some(timing) = self.timing {
+            self.idle_backoff_us = timing.stale_after_us;
+            self.next_idle_sync_us = 0;
+            self.backoff_resets += 1;
+        }
+    }
+
+    fn restore(&mut self, now_us: u64, out: &mut Vec<Output<P>>) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        // Keep the lifecycle trace across the restore: PcbProcess::restore
+        // starts a fresh ring, but the node's history (especially its
+        // `Sent` records) must survive for trace replay to work.
+        let tracer = self.process.replace_tracer(Tracer::ring(self.id.index() as u32, 0));
+        match self.stable.clone() {
+            Some(snapshot) => {
+                let (process, store) = PcbProcess::restore(snapshot);
+                self.process = process;
+                self.store = store;
+                self.counters.snapshot_restores += 1;
+            }
+            None => {
+                // Crashed before the first snapshot: restart from zero.
+                self.process =
+                    PcbProcess::with_config(self.id, self.keys.clone(), self.config.clone());
+                self.store = MessageStore::new(
+                    self.timing.map_or(DEFAULT_STORE_WINDOW_US, |timing| timing.store_window_us),
+                );
+            }
+        }
+        let _ = self.process.replace_tracer(tracer);
+        self.process.set_now(now_us);
+        self.process.tracer_mut().emit(|| TraceEvent::SnapshotRestored);
+        // Re-apply the clock effects of sends the WAL made durable after
+        // the snapshot, so fresh broadcasts do not reuse stamp heights.
+        self.process.replay_own_sends(self.durable_seq);
+        self.last_activity_us = 0;
+        self.reset_idle_backoff();
+        self.maybe_request_sync(now_us, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcb_clock::KeySpace;
+
+    fn space() -> KeySpace {
+        KeySpace::new(4, 2).unwrap()
+    }
+
+    fn timing() -> RecoveryTimingUs {
+        RecoveryTimingUs {
+            stale_after_us: 1_000,
+            poll_every_us: 250,
+            store_window_us: 1_000_000,
+            snapshot_every_us: 5_000,
+            sync_timeout_us: 4_000,
+        }
+    }
+
+    fn endpoint(id: usize, entries: &[usize]) -> Endpoint<&'static str> {
+        Endpoint::new(
+            ProcessId::new(id),
+            KeySet::from_entries(space(), entries).unwrap(),
+            PcbConfig::default(),
+            Some(timing()),
+        )
+    }
+
+    fn frames<P: Clone>(outs: &[Output<P>]) -> Vec<Message<P>> {
+        outs.iter()
+            .filter_map(|o| match o {
+                Output::SendFrame(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn known_of<P>(outs: &[Output<P>]) -> Option<Vec<MessageId>> {
+        outs.iter().find_map(|o| match o {
+            Output::RequestSync { known } => Some(known.clone()),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn broadcast_emits_frame_and_stores_it() {
+        let mut a = endpoint(0, &[0, 1]);
+        let outs = a.handle(Input::Broadcast("x"), 10);
+        assert_eq!(frames(&outs).len(), 1);
+        assert_eq!(a.store().len(), 1, "own sends are re-fetchable");
+        assert_eq!(a.stats().sent, 1);
+    }
+
+    #[test]
+    fn frame_delivery_inserts_into_store() {
+        let mut a = endpoint(0, &[0, 1]);
+        let mut b = endpoint(1, &[1, 2]);
+        let m = frames(&a.handle(Input::Broadcast("x"), 10)).remove(0);
+        let outs = b.handle(Input::FrameReceived(m), 20);
+        assert!(matches!(outs[0], Output::Deliver(_)));
+        assert_eq!(b.store().len(), 1, "the endpoint buffers its own deliveries");
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn tick_keeps_the_chain_alive() {
+        let mut a = endpoint(0, &[0, 1]);
+        let outs = a.handle(Input::Tick, 100);
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::ScheduleTick { at_us } if *at_us == 100 + 250)));
+        let mut no_recovery = Endpoint::<&str>::new(
+            ProcessId::new(3),
+            KeySet::from_entries(space(), &[2, 3]).unwrap(),
+            PcbConfig::default(),
+            None,
+        );
+        assert!(no_recovery.handle(Input::Tick, 100).is_empty(), "no timing, no chain");
+    }
+
+    #[test]
+    fn anti_entropy_round_trip_refetches_missed_messages() {
+        let mut a = endpoint(0, &[0, 1]);
+        let mut b = endpoint(1, &[1, 2]);
+        let m1 = frames(&a.handle(Input::Broadcast("1"), 10)).remove(0);
+        let m2 = frames(&a.handle(Input::Broadcast("2"), 20)).remove(0);
+        drop((m1, m2)); // both frames lost in transit
+
+        // Idle probe fires once b has been quiet past stale_after.
+        let outs = b.handle(Input::Tick, 2_000);
+        let known = known_of(&outs).expect("idle probe");
+        assert_eq!(b.recovery_counters().sync_requests, 1);
+
+        let reply = a.handle(Input::SyncRequest { from: b.id(), known }, 2_100);
+        let Some(Output::SyncReply { to, messages }) =
+            reply.iter().find(|o| matches!(o, Output::SyncReply { .. }))
+        else {
+            panic!("expected SyncReply, got {reply:?}");
+        };
+        assert_eq!(*to, b.id());
+        assert_eq!(messages.len(), 2);
+        assert_eq!(a.recovery_counters().sync_served, 1);
+
+        let outs = b.handle(Input::SyncResponse(messages.clone()), 2_200);
+        let delivered: Vec<_> = outs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Deliver(d) => Some(*d.message.payload()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, ["1", "2"]);
+        assert_eq!(b.recovery_counters().refetched, 2);
+        assert_eq!(b.recovered_deliveries(), 2);
+    }
+
+    #[test]
+    fn empty_sync_responses_back_off_and_fresh_traffic_resets() {
+        let mut b = endpoint(1, &[1, 2]);
+        let t = timing();
+        let mut now = t.stale_after_us;
+        let mut probe_gaps = Vec::new();
+        let mut last_probe = None;
+        // Drive tick + empty response cycles; record the gaps between
+        // successive probes.
+        for _ in 0..200 {
+            let outs = b.handle(Input::Tick, now);
+            if known_of(&outs).is_some() {
+                if let Some(prev) = last_probe {
+                    probe_gaps.push(now - prev);
+                }
+                last_probe = Some(now);
+                let _ = b.handle(Input::SyncResponse(Vec::new()), now + 10);
+            }
+            now += t.poll_every_us;
+        }
+        assert!(probe_gaps.len() >= 3, "several probes fired: {probe_gaps:?}");
+        assert!(
+            probe_gaps.windows(2).all(|w| w[1] >= w[0]),
+            "idle probe gaps never shrink without fresh traffic: {probe_gaps:?}"
+        );
+        let cap = t.stale_after_us * 8;
+        assert!(probe_gaps.iter().all(|&g| g <= cap + t.poll_every_us), "gaps capped");
+
+        // Fresh frame resets the backoff to the floor.
+        let mut a = endpoint(0, &[0, 1]);
+        let m = frames(&a.handle(Input::Broadcast("x"), now)).remove(0);
+        let resets_before = b.status().backoff_resets;
+        let _ = b.handle(Input::FrameReceived(m), now);
+        assert!(b.status().backoff_resets > resets_before);
+    }
+
+    #[test]
+    fn sync_timeout_rearms_the_probe() {
+        let mut b = endpoint(1, &[1, 2]);
+        let t = timing();
+        let outs = b.handle(Input::Tick, t.stale_after_us);
+        assert!(known_of(&outs).is_some(), "first probe fires");
+        // In flight: no second probe before the timeout.
+        let outs = b.handle(Input::Tick, t.stale_after_us + t.sync_timeout_us - 1);
+        assert!(known_of(&outs).is_none());
+        // Timed out: probe again.
+        let outs = b.handle(Input::Tick, t.stale_after_us + t.sync_timeout_us);
+        assert!(known_of(&outs).is_some());
+        assert_eq!(b.recovery_counters().sync_requests, 2);
+    }
+
+    #[test]
+    fn crashed_endpoint_is_deaf_until_restore() {
+        let mut a = endpoint(0, &[0, 1]);
+        let mut b = endpoint(1, &[1, 2]);
+        let t = timing();
+
+        // Deliver one message, then cut a snapshot.
+        let m = frames(&a.handle(Input::Broadcast("pre"), 10)).remove(0);
+        let _ = b.handle(Input::FrameReceived(m), 20);
+        let outs = b.handle(Input::Tick, t.snapshot_every_us);
+        assert!(outs.iter().any(|o| matches!(o, Output::SnapshotReady { .. })));
+        assert_eq!(b.recovery_counters().snapshots_taken, 1);
+
+        assert!(b.handle(Input::Crash, t.snapshot_every_us + 10).is_empty());
+        assert!(b.crashed());
+        let m2 = frames(&a.handle(Input::Broadcast("during"), t.snapshot_every_us + 20)).remove(0);
+        assert!(
+            b.handle(Input::FrameReceived(m2), t.snapshot_every_us + 30).is_empty(),
+            "crashed endpoint drops frames"
+        );
+        let outs = b.handle(Input::Tick, t.snapshot_every_us + 40);
+        assert_eq!(outs.len(), 1, "only the tick chain survives a crash");
+        assert!(matches!(outs[0], Output::ScheduleTick { .. }));
+
+        let outs = b.handle(Input::Restore, t.snapshot_every_us + 1_000);
+        assert_eq!(b.recovery_counters().snapshot_restores, 1);
+        assert!(!b.crashed());
+        assert_eq!(b.stats().delivered, 1, "snapshot preserved the pre-crash delivery");
+        assert!(known_of(&outs).is_some(), "restore probes for what it missed");
+    }
+
+    #[test]
+    fn restore_replays_the_send_wal() {
+        let mut a = endpoint(0, &[0, 1]);
+        let t = timing();
+        // Snapshot at seq 1, then two more sends that outlive the crash
+        // only through the WAL.
+        let _ = a.handle(Input::Broadcast("1"), 10);
+        let _ = a.handle(Input::Tick, t.snapshot_every_us);
+        let _ = a.handle(Input::Broadcast("2"), t.snapshot_every_us + 10);
+        let _ = a.handle(Input::Broadcast("3"), t.snapshot_every_us + 20);
+        let _ = a.handle(Input::Crash, t.snapshot_every_us + 30);
+        let _ = a.handle(Input::Restore, t.snapshot_every_us + 40);
+        let m = frames(&a.handle(Input::Broadcast("4"), t.snapshot_every_us + 50)).remove(0);
+        assert_eq!(m.id().seq(), 4, "stamp heights continue past the crash");
+    }
+
+    #[test]
+    fn crash_before_first_snapshot_restarts_from_zero() {
+        let mut b = endpoint(1, &[1, 2]);
+        let _ = b.handle(Input::Crash, 10);
+        let _ = b.handle(Input::Restore, 20);
+        assert_eq!(b.recovery_counters().snapshot_restores, 0, "nothing durable yet");
+        assert_eq!(b.stats().delivered, 0);
+        assert!(!b.crashed());
+    }
+}

@@ -38,6 +38,7 @@
 pub mod dedup;
 pub mod detector;
 pub mod discipline;
+pub mod endpoint;
 pub mod membership;
 pub mod message;
 pub mod pending;
@@ -52,6 +53,7 @@ pub use discipline::{
     Alerts, DetectingProbDiscipline, Discipline, FifoDiscipline, ImmediateDiscipline,
     MergeProbDiscipline, ProbDiscipline, VectorDiscipline,
 };
+pub use endpoint::{Endpoint, EndpointStatus, Input, Output, RecoveryTimingUs};
 pub use membership::{Group, MemberState};
 pub use message::{Message, MessageId};
 pub use pending::{InsertVerdict, WakeupIndex, WakeupStats};

@@ -138,6 +138,13 @@ impl<P> WakeupIndex<P> {
         self.slots.iter().flatten().map(|slot| now.saturating_sub(slot.arrived)).max()
     }
 
+    /// Every message currently indexed (waiting or ready), in slot order.
+    /// Used by snapshotting to subtract still-pending ids from the
+    /// durable seen-set.
+    pub fn iter_messages(&self) -> impl Iterator<Item = &Message<P>> {
+        self.slots.iter().flatten().map(|slot| &slot.message)
+    }
+
     /// Indexes a newly arrived message, classifying it against `clock`:
     /// deliverable messages go to the ready heap (pop them with
     /// [`WakeupIndex::pop_ready`]), blocked ones onto their first blocked

@@ -50,6 +50,9 @@ pub struct Delivery<P> {
     pub instant_alert: bool,
     /// Algorithm 5 alert (only meaningful when a recent window is set).
     pub recent_alert: bool,
+    /// How long the message sat in the pending queue before delivery, in
+    /// the caller's `now` units (0 when deliverable on arrival).
+    pub blocked_for: u64,
 }
 
 /// Counters describing an endpoint's lifetime behaviour.
@@ -200,6 +203,15 @@ impl<P> PcbProcess<P> {
         &mut self.tracer
     }
 
+    /// Swaps this endpoint's tracer for `tracer`, returning the old one.
+    /// [`PcbProcess::restore`] starts with a fresh ring; the recovery
+    /// driver moves the pre-crash ring across so a restore does not erase
+    /// the node's history (the trace replayer relies on `Sent` records
+    /// surviving crashes).
+    pub(crate) fn replace_tracer(&mut self, tracer: Tracer) -> Tracer {
+        std::mem::replace(&mut self.tracer, tracer)
+    }
+
     /// Drains all buffered trace records, oldest first.
     pub fn drain_trace(&mut self) -> Vec<TraceRecord> {
         self.tracer.drain()
@@ -279,13 +291,22 @@ impl<P> PcbProcess<P> {
     where
         P: Clone,
     {
+        // The snapshot must not claim still-pending messages: they are
+        // lost with the crash (the pending queue is deliberately not
+        // persisted), so leaving their ids in the durable seen-set would
+        // make the restored endpoint advertise them as `known` and dedup
+        // away the very re-fetch that is supposed to bring them back.
+        let mut seen = self.seen.clone();
+        for message in self.pending.iter_messages() {
+            seen.remove(message.id());
+        }
         crate::snapshot::ProcessSnapshot {
             id: self.id,
             keys: (*self.keys).clone(),
             config: self.config.clone(),
             clock: self.clock.vector().clone(),
             seq: self.seq,
-            seen: self.seen.export_windows(),
+            seen: seen.export_windows(),
             stats: self.stats,
             store_window: store.window(),
             store: store.entries().map(|(t, m)| (t, m.clone())).collect(),
@@ -401,7 +422,7 @@ impl<P> PcbProcess<P> {
         if recent {
             self.tracer.emit(|| TraceEvent::Alert { alg: 5, sender, seq, suspects });
         }
-        Delivery { message, instant_alert: instant, recent_alert: recent }
+        Delivery { message, instant_alert: instant, recent_alert: recent, blocked_for }
     }
 }
 
@@ -593,6 +614,35 @@ mod tests {
         peer_clock.record_delivery(&fa);
         let out = joiner.install_state(peer_clock.vector().clone(), 1);
         assert_eq!(out.len(), 1, "snapshot unblocks the fresh message");
+    }
+
+    #[test]
+    fn snapshot_does_not_claim_pending_messages() {
+        // m' is received but parked (its dependency m never arrived) when
+        // the snapshot is taken. After a crash + restore the pending queue
+        // is gone; the restored endpoint must treat a re-fetched m' as
+        // new — if the snapshot's seen-set claimed it, it would be lost
+        // forever.
+        let mut pi = proc(0, &[0, 1]);
+        let mut pj = proc(1, &[1, 2]);
+        let mut pk = proc(2, &[2, 3]);
+
+        let m = pi.broadcast("m");
+        assert_eq!(pj.on_receive(m.clone(), 0).len(), 1);
+        let m_prime = pj.broadcast("m'");
+        assert!(pk.on_receive(m_prime.clone(), 0).is_empty(), "m' parks");
+
+        let store = crate::recovery::MessageStore::new(60_000);
+        let snap = pk.snapshot(&store);
+        assert!(
+            !snap.seen.iter().any(|(sender, prefix, exc)| *sender == m_prime.id().sender()
+                && (m_prime.id().seq() <= *prefix || exc.contains(&m_prime.id().seq()))),
+            "snapshot seen-set claims the pending message"
+        );
+
+        let (mut restored, _store) = PcbProcess::restore(snap);
+        assert!(restored.on_receive(m_prime, 1).is_empty(), "parks again, not deduped");
+        assert_eq!(restored.on_receive(m, 2).len(), 2, "dependency unblocks the re-fetch");
     }
 
     #[test]

@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod loopback;
 pub mod node;
 pub mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterError, MetricsDump};
+pub use loopback::LoopbackCluster;
 pub use node::{NodeHandle, NodeStatus, RecoveryConfig};
 // Chaos plans are shared with the simulator: the same `FaultPlan` drives
 // the sim engine's event loop in virtual time and this crate's

@@ -1,16 +1,22 @@
-//! A live node: one thread running a [`PcbProcess`] event loop with an
-//! optional anti-entropy recovery layer.
+//! A live node: one thread routing IO for a sans-IO
+//! [`Endpoint`](pcb_broadcast::endpoint::Endpoint).
+//!
+//! All protocol behaviour — delivery, dedup, the §4.2 anti-entropy
+//! driver, snapshot/restore — lives in `pcb-broadcast::endpoint`. This
+//! module only translates: commands and router traffic become
+//! [`Input`]s stamped with microseconds since the cluster epoch, and the
+//! resulting [`Output`]s become channel sends. The same state machine is
+//! driven by the deterministic simulator, so the chaos oracles certify
+//! exactly the code running here.
 
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use pcb_broadcast::{
-    Counters, Delivery, Message, MessageId, MessageStore, PcbConfig, PcbProcess, ProcessSnapshot,
-    SyncRequest,
-};
+use pcb_broadcast::endpoint::{Endpoint, Input, Output, RecoveryTimingUs};
+use pcb_broadcast::{Counters, Delivery, Message, MessageId, PcbConfig};
 use pcb_clock::{KeySet, ProcessId, Timestamp};
-use pcb_telemetry::{TraceEvent, TraceRecord};
+use pcb_telemetry::TraceRecord;
 
 use crate::transport::RouterMsg;
 
@@ -43,6 +49,20 @@ impl Default for RecoveryConfig {
             store_window: Duration::from_secs(5),
             snapshot_every: Duration::from_millis(250),
             sync_timeout: Duration::from_millis(400),
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// The endpoint-facing microsecond view of these durations — the one
+    /// place the live shell converts wall-clock units.
+    fn timing(self) -> RecoveryTimingUs {
+        RecoveryTimingUs {
+            stale_after_us: self.stale_after.as_micros() as u64,
+            poll_every_us: self.poll_every.as_micros() as u64,
+            store_window_us: self.store_window.as_micros() as u64,
+            snapshot_every_us: self.snapshot_every.as_micros() as u64,
+            sync_timeout_us: self.sync_timeout.as_micros() as u64,
         }
     }
 }
@@ -189,272 +209,122 @@ impl<P> Drop for NodeHandle<P> {
     }
 }
 
+/// The IO shell: owns the channels and the clock, delegates every
+/// protocol decision to the [`Endpoint`].
 struct NodeLoop<P> {
     id: ProcessId,
-    keys: KeySet,
-    config: PcbConfig,
-    process: PcbProcess<P>,
-    store: MessageStore<P>,
-    recovery: Option<RecoveryConfig>,
+    endpoint: Endpoint<P>,
     epoch: Instant,
     router_tx: Sender<RouterMsg<P>>,
     delivery_tx: Sender<Delivery<P>>,
-    /// Recovery-health counters surfaced verbatim in [`NodeStatus`].
-    counters: Counters,
-    recovered: u64,
-    sync_in_flight: bool,
-    /// When the in-flight sync request went out; after
-    /// `RecoveryConfig::sync_timeout` it is presumed lost.
-    sync_sent_at_ms: u64,
-    /// Timestamp of the last transport arrival, for quiescence probes.
-    last_activity_ms: u64,
-    /// Earliest time the next idle (non-pending-triggered) probe may go.
-    next_idle_sync_ms: u64,
-    /// Current idle-probe backoff; doubles on empty responses.
-    idle_backoff_ms: u64,
-    /// Fault injection: while crashed the loop drops everything except
-    /// status queries, recover, and shutdown.
-    crashed: bool,
-    /// The last durable snapshot ("disk"): what a restart resumes from.
-    stable: Option<ProcessSnapshot<P>>,
-    /// Own-send WAL: the highest sequence number durably recorded before
-    /// each broadcast hit the wire. Replayed on restore so a recovered
-    /// sender never re-issues a used stamp height.
-    durable_seq: u64,
-    /// When the next periodic snapshot is due.
-    next_snapshot_ms: u64,
-    backoff_resets: u64,
 }
 
 impl<P: Send + Clone + 'static> NodeLoop<P> {
-    fn now_ms(&self) -> u64 {
-        self.epoch.elapsed().as_millis() as u64
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
     }
 
-    /// Delivers through the endpoint, retaining copies for peers.
-    fn accept(&mut self, message: Message<P>, recovered: bool) -> bool {
-        let now = self.now_ms();
-        let deliveries = self.process.on_receive(message, now);
-        let any = !deliveries.is_empty();
-        for delivery in deliveries {
-            self.store.insert(now, delivery.message.clone());
-            self.recovered += u64::from(recovered);
-            // The application may have dropped its stream; keep going.
-            let _ = self.delivery_tx.send(delivery);
-        }
-        any
-    }
-
-    /// Issues a sync request if something has been pending too long, or
-    /// if the node has gone quiet and a background probe is due.
-    ///
-    /// The pending-age trigger alone cannot see a *trailing* loss: when
-    /// the last message from a sender is dropped and nothing causally
-    /// after it ever arrives, the pending queue stays empty and the gap
-    /// is silent. Quiescence probes close that hole — after
-    /// `stale_after` without any arrival the node asks a peer anyway,
-    /// backing off exponentially while the probes come back empty so a
-    /// settled cluster is not spammed.
-    fn maybe_request_sync(&mut self) {
-        let Some(recovery) = self.recovery else { return };
-        let stale_ms = recovery.stale_after.as_millis() as u64;
-        let now = self.now_ms();
-        if self.sync_in_flight {
-            // A response can be lost outright — the serving peer crashed,
-            // or a partition cut the reply. Presume it lost after a
-            // timeout instead of waiting forever.
-            let timeout = recovery.sync_timeout.as_millis() as u64;
-            if now.saturating_sub(self.sync_sent_at_ms) < timeout.max(1) {
-                return;
-            }
-            self.sync_in_flight = false;
-        }
-        let pending_stale = self.process.oldest_pending_age(now).is_some_and(|age| age >= stale_ms);
-        let idle_probe =
-            now.saturating_sub(self.last_activity_ms) >= stale_ms && now >= self.next_idle_sync_ms;
-        if pending_stale || idle_probe {
-            let known: Vec<MessageId> = self.process.seen_ids().collect();
-            if self.router_tx.send(RouterMsg::SyncRequest { from: self.id, known }).is_ok() {
-                self.counters.sync_requests += 1;
-                self.sync_in_flight = true;
-                self.sync_sent_at_ms = now;
+    /// Carries out the endpoint's effects. Returns `false` when the
+    /// router is gone (cluster shutting down) and the loop should stop.
+    fn route(&mut self, outputs: Vec<Output<P>>) -> bool {
+        for output in outputs {
+            match output {
+                Output::Deliver(delivery) => {
+                    // The application may have dropped its stream; keep
+                    // going. The endpoint already stored the message.
+                    let _ = self.delivery_tx.send(delivery);
+                }
+                Output::SendFrame(message) => {
+                    if self.router_tx.send(RouterMsg::Broadcast { from: self.id, message }).is_err()
+                    {
+                        return false;
+                    }
+                }
+                Output::RequestSync { known } => {
+                    let _ = self.router_tx.send(RouterMsg::SyncRequest { from: self.id, known });
+                }
+                Output::SyncReply { to, messages } => {
+                    let _ = self.router_tx.send(RouterMsg::SyncResponse {
+                        from: self.id,
+                        to,
+                        messages,
+                    });
+                }
+                // The recv_timeout loop *is* the tick source, alerts ride
+                // on each Delivery's flags, and snapshots stay in-process
+                // (the endpoint holds the stable slot).
+                Output::ScheduleTick { .. }
+                | Output::Alert { .. }
+                | Output::SnapshotReady { .. } => {}
             }
         }
+        true
     }
 
-    /// Re-arms the quiescence probe at its minimum interval (new traffic
-    /// or a successful recovery means more losses may follow shortly).
-    fn reset_idle_backoff(&mut self) {
-        if let Some(recovery) = self.recovery {
-            self.idle_backoff_ms = recovery.stale_after.as_millis() as u64;
-            self.next_idle_sync_ms = 0;
-            self.backoff_resets += 1;
+    fn status(&self) -> NodeStatus {
+        let status = self.endpoint.status();
+        NodeStatus {
+            stats: status.stats,
+            pending: status.pending,
+            clock: status.clock,
+            recovery: status.recovery,
+            recovered: status.recovered,
+            backoff_resets: status.backoff_resets,
+            crashed: status.crashed,
+            wakeup: status.wakeup,
         }
     }
 
-    /// Takes a periodic durable snapshot of the process + retained store.
-    fn maybe_snapshot(&mut self) {
-        let Some(recovery) = self.recovery else { return };
-        let now = self.now_ms();
-        if now < self.next_snapshot_ms {
-            return;
-        }
-        self.stable = Some(self.process.snapshot(&self.store));
-        self.counters.snapshots_taken += 1;
-        self.process.set_now(now);
-        self.process.tracer_mut().emit(|| TraceEvent::SnapshotTaken);
-        self.next_snapshot_ms = now + (recovery.snapshot_every.as_millis() as u64).max(1);
-    }
-
-    /// Crash: all volatile state is gone. The durable snapshot slot and
-    /// the own-send WAL survive — they are "disk".
-    fn crash(&mut self) {
-        self.crashed = true;
-        self.sync_in_flight = false;
-    }
-
-    /// Restart from the last durable snapshot (or from scratch if none
-    /// was ever taken), replay the own-send WAL so no stamp height is
-    /// re-issued, and probe peers immediately to catch up.
-    fn recover(&mut self) {
-        if !self.crashed {
-            return;
-        }
-        self.crashed = false;
-        if let Some(snapshot) = self.stable.clone() {
-            let (process, store) = PcbProcess::restore(snapshot);
-            self.process = process;
-            self.store = store;
-            self.counters.snapshot_restores += 1;
-        } else {
-            self.process = PcbProcess::with_config(self.id, self.keys.clone(), self.config.clone());
-            self.store = MessageStore::new(self.store.window());
-        }
-        self.process.set_now(self.now_ms());
-        self.process.tracer_mut().emit(|| TraceEvent::SnapshotRestored);
-        let _ = self.process.replay_own_sends(self.durable_seq);
-        self.last_activity_ms = 0;
-        self.reset_idle_backoff();
-        self.maybe_request_sync();
-    }
-
-    fn run(mut self, cmd_rx: &Receiver<Command<P>>) {
-        let idle = self.recovery.map_or(Duration::from_secs(3600), |r| r.poll_every);
+    fn run(mut self, cmd_rx: &Receiver<Command<P>>, poll_every: Duration) {
         loop {
-            let cmd = match cmd_rx.recv_timeout(idle) {
+            let cmd = match cmd_rx.recv_timeout(poll_every) {
                 Ok(cmd) => cmd,
                 Err(RecvTimeoutError::Timeout) => {
-                    if !self.crashed {
-                        self.maybe_snapshot();
-                        self.maybe_request_sync();
+                    let now = self.now_us();
+                    let outputs = self.endpoint.handle(Input::Tick, now);
+                    if !self.route(outputs) {
+                        break;
                     }
                     continue;
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
             };
-            // A crashed node is deaf: everything except status queries,
-            // recovery, and shutdown is dropped on the floor.
-            if self.crashed {
-                match cmd {
-                    Command::Query(reply) => self.answer_query(&reply),
-                    Command::DrainTrace(reply) => {
-                        let _ = reply.send(self.process.drain_trace());
-                    }
-                    Command::Recover => self.recover(),
-                    Command::Shutdown => break,
-                    _ => {}
-                }
-                continue;
-            }
-            // Staleness is checked on every loop turn: a busy inbox (e.g.
-            // frequent status queries) must not suppress recovery.
-            self.maybe_snapshot();
-            self.maybe_request_sync();
-            match cmd {
+            let now = self.now_us();
+            let outputs = match cmd {
                 Command::Incoming(message) => {
-                    self.last_activity_ms = self.now_ms();
-                    self.reset_idle_backoff();
-                    self.accept(message, false);
-                    self.maybe_request_sync();
+                    self.endpoint.handle(Input::FrameReceived(message), now)
                 }
-                Command::Broadcast(payload) => {
-                    // WAL first: the sequence number is durable before the
-                    // message hits the wire, so a crash between the two
-                    // can only lose the payload, never reuse the stamp.
-                    self.durable_seq += 1;
-                    let now = self.now_ms();
-                    self.process.set_now(now);
-                    let message = self.process.broadcast(payload);
-                    self.store.insert(now, message.clone());
-                    if self.router_tx.send(RouterMsg::Broadcast { from: self.id, message }).is_err()
-                    {
-                        break; // router gone: cluster is shutting down
-                    }
-                }
+                Command::Broadcast(payload) => self.endpoint.handle(Input::Broadcast(payload), now),
                 Command::SyncRequest { from, known } => {
-                    let response = self.store.handle_sync(&SyncRequest::new(known));
-                    self.counters.sync_served += 1;
-                    // Always reply — an empty response tells the requester
-                    // this peer had nothing, so it can ask another.
-                    let _ = self.router_tx.send(RouterMsg::SyncResponse {
-                        from: self.id,
-                        to: from,
-                        messages: response.messages,
-                    });
+                    self.endpoint.handle(Input::SyncRequest { from, known }, now)
                 }
                 Command::SyncResponse(messages) => {
-                    self.sync_in_flight = false;
-                    self.counters.refetched += messages.len() as u64;
-                    self.process.set_now(self.now_ms());
-                    for m in &messages {
-                        let (sender, seq) = (m.id().sender().index() as u32, m.id().seq());
-                        self.process.tracer_mut().emit(|| TraceEvent::Refetched { sender, seq });
-                    }
-                    let mut delivered_any = false;
-                    for m in messages {
-                        delivered_any |= self.accept(m, true);
-                    }
-                    if delivered_any {
-                        // Progress: more may be missing, probe again soon.
-                        self.reset_idle_backoff();
-                    } else if let Some(recovery) = self.recovery {
-                        // Empty round: this peer had nothing new. Back off
-                        // (capped) so a quiescent cluster goes quiet; the
-                        // router rotates targets, so retries reach every
-                        // peer within n-1 rounds.
-                        let cap = recovery.stale_after.as_millis() as u64 * 8;
-                        self.next_idle_sync_ms = self.now_ms() + self.idle_backoff_ms;
-                        self.idle_backoff_ms = (self.idle_backoff_ms * 2).min(cap.max(1));
-                    }
-                    // Still stuck (the peer lacked it too)? Ask again.
-                    self.maybe_request_sync();
+                    self.endpoint.handle(Input::SyncResponse(messages), now)
                 }
-                Command::Query(reply) => self.answer_query(&reply),
+                Command::Crash => self.endpoint.handle(Input::Crash, now),
+                Command::Recover => self.endpoint.handle(Input::Restore, now),
+                Command::Query(reply) => {
+                    // Tick first so a busy inbox (frequent status queries)
+                    // cannot suppress snapshots or recovery probes.
+                    let outputs = self.endpoint.handle(Input::Tick, now);
+                    let _ = reply.send(self.status());
+                    outputs
+                }
                 Command::DrainTrace(reply) => {
-                    let _ = reply.send(self.process.drain_trace());
+                    let outputs = self.endpoint.handle(Input::Tick, now);
+                    let _ = reply.send(self.endpoint.drain_trace());
+                    outputs
                 }
-                Command::Crash => self.crash(),
-                Command::Recover => {} // not crashed: nothing to do
                 Command::Shutdown => break,
+            };
+            if !self.route(outputs) {
+                break;
             }
         }
     }
-
-    fn answer_query(&self, reply: &Sender<NodeStatus>) {
-        let _ = reply.send(NodeStatus {
-            stats: self.process.stats(),
-            pending: self.process.pending_len(),
-            clock: self.process.clock().vector().clone(),
-            recovery: self.counters,
-            recovered: self.recovered,
-            backoff_resets: self.backoff_resets,
-            crashed: self.crashed,
-            wakeup: self.process.wakeup_stats(),
-        });
-    }
 }
 
-/// Spawns a node thread; `epoch` anchors the millisecond clock used for
+/// Spawns a node thread; `epoch` anchors the microsecond clock used for
 /// the Algorithm 5 recent-list window and the recovery timers.
 pub(crate) fn spawn_node<P: Send + Clone + 'static>(
     id: ProcessId,
@@ -466,37 +336,14 @@ pub(crate) fn spawn_node<P: Send + Clone + 'static>(
 ) -> (NodeHandle<P>, Sender<Command<P>>) {
     let (cmd_tx, cmd_rx) = unbounded::<Command<P>>();
     let (delivery_tx, delivery_rx) = unbounded::<Delivery<P>>();
-    let store_window =
-        recovery.map_or(Duration::from_secs(5), |r| r.store_window).as_millis() as u64;
+    let poll_every = recovery.map_or(Duration::from_secs(3600), |r| r.poll_every);
     let thread_name = format!("pcb-node-{}", id.index());
     let join = std::thread::Builder::new()
         .name(thread_name)
         .spawn(move || {
-            let node = NodeLoop {
-                id,
-                keys: keys.clone(),
-                config: config.clone(),
-                process: PcbProcess::with_config(id, keys, config),
-                store: MessageStore::new(store_window),
-                recovery,
-                epoch,
-                router_tx,
-                delivery_tx,
-                counters: Counters::default(),
-                recovered: 0,
-                sync_in_flight: false,
-                sync_sent_at_ms: 0,
-                last_activity_ms: 0,
-                next_idle_sync_ms: 0,
-                idle_backoff_ms: recovery.map_or(0, |r| r.stale_after.as_millis() as u64),
-                crashed: false,
-                stable: None,
-                durable_seq: 0,
-                next_snapshot_ms: recovery
-                    .map_or(u64::MAX, |r| (r.snapshot_every.as_millis() as u64).max(1)),
-                backoff_resets: 0,
-            };
-            node.run(&cmd_rx);
+            let endpoint = Endpoint::new(id, keys, config, recovery.map(RecoveryConfig::timing));
+            let node = NodeLoop { id, endpoint, epoch, router_tx, delivery_tx };
+            node.run(&cmd_rx, poll_every);
         })
         .expect("spawn node thread");
 

@@ -1,0 +1,91 @@
+//! Differential harness: the simulator's chaos engine and the runtime's
+//! loopback cluster must drive the production `Endpoint` to **bit-identical**
+//! behaviour.
+//!
+//! Each case records a seeded chaos run (crash/recover, partition, and
+//! link-fault windows from `FaultPlan::random`) through
+//! `pcb_sim::record_endpoint_chaos`, then replays the captured input log
+//! through a fresh [`pcb_runtime::LoopbackCluster`] — the runtime-side
+//! construction of the same state machine — and diffs:
+//!
+//! * per-node delivery order, message ids, and Algorithm 4/5 alert flags,
+//! * per-node recovery counters (syncs, refetches, snapshots, restores),
+//! * and that the run produced zero undetected causal violations.
+//!
+//! A divergence anywhere means one of the shells smuggled protocol policy
+//! back in — exactly the regression this PR's sans-IO refactor exists to
+//! prevent.
+
+use pcb_clock::{AssignmentPolicy, KeySpace};
+use pcb_runtime::LoopbackCluster;
+use pcb_sim::{chaos_config, record_endpoint_chaos};
+
+const N: usize = 9;
+const DURATION_MS: f64 = 2500.0;
+
+/// Records one chaos run and replays it through the loopback cluster,
+/// asserting bit-identical observable behaviour.
+fn assert_equivalent(seed: u64, space: KeySpace, policy: AssignmentPolicy) {
+    let cfg = chaos_config(seed, N, DURATION_MS);
+    let record = record_endpoint_chaos(&cfg, space, policy)
+        .unwrap_or_else(|e| panic!("seed {seed}: chaos run failed: {e}"));
+    assert!(!record.inputs.is_empty(), "seed {seed}: empty input log");
+    assert_eq!(
+        record.metrics.undetected_violations, 0,
+        "seed {seed}: a causal violation escaped Algorithm 4"
+    );
+
+    let mut cluster = LoopbackCluster::new(&record.keys, &record.pcb_config, record.timing);
+    cluster.replay(record.inputs.iter().map(|(t, node, input)| (*t, *node, input.clone())));
+
+    assert_eq!(
+        cluster.deliveries(),
+        record.deliveries.as_slice(),
+        "seed {seed}: delivery order / alert flags diverged between shells"
+    );
+    assert_eq!(
+        cluster.counters(),
+        record.counters,
+        "seed {seed}: recovery counters diverged between shells"
+    );
+}
+
+#[test]
+fn vector_chaos_traces_replay_bit_identically() {
+    // Exact (vector-equivalent) clocks: one distinct key per node.
+    let space = KeySpace::vector(N).unwrap();
+    for seed in 1..=16u64 {
+        assert_equivalent(seed, space, AssignmentPolicy::RoundRobin);
+    }
+}
+
+#[test]
+fn probabilistic_chaos_traces_replay_bit_identically() {
+    // The paper's compressed clocks: collisions make delivery order
+    // genuinely probabilistic, so equivalence here certifies the whole
+    // Algorithm 2/3 path, not just the exact special case.
+    let space = KeySpace::new(100, 4).unwrap();
+    for seed in 101..=108u64 {
+        assert_equivalent(seed, space, AssignmentPolicy::UniformRandom);
+    }
+}
+
+#[test]
+fn recorded_plans_exercise_crashes_and_partitions() {
+    // The corpus above must actually contain the interesting faults.
+    let mut crashes = 0u64;
+    let mut partitions = 0u64;
+    for seed in 1..=16u64 {
+        let cfg = chaos_config(seed, N, DURATION_MS);
+        let plan = cfg.faults.expect("chaos_config sets a plan");
+        for ev in &plan.events {
+            match ev.kind {
+                pcb_sim::FaultKind::Crash { .. } => crashes += 1,
+                pcb_sim::FaultKind::PartitionStart { .. } => partitions += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(crashes > 0, "no crash windows in the differential corpus");
+    assert!(partitions > 0, "no partition windows in the differential corpus");
+}

@@ -17,11 +17,10 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use pcb_broadcast::Discipline;
-use pcb_clock::{Gap, KeyAssigner, KeySet, KeySpace, ProcessId};
+use pcb_clock::{AssignmentPolicy, Gap, KeyAssigner, KeySet, KeySpace, ProcessId};
 use pcb_telemetry::{TraceEvent, TraceRecord, Tracer};
 
 use crate::config::{Dissemination, SimConfig};
-use crate::fault::{FaultKind, FaultPlan, LinkFaults};
 use crate::metrics::RunMetrics;
 use crate::oracle::{EpsilonEstimator, ExactChecker};
 use crate::rng::SimRng;
@@ -47,9 +46,9 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-const MICROS_PER_MS: f64 = 1000.0;
+pub(crate) const MICROS_PER_MS: f64 = 1000.0;
 
-fn ms_to_us(ms: f64) -> u64 {
+pub(crate) fn ms_to_us(ms: f64) -> u64 {
     (ms * MICROS_PER_MS).round() as u64
 }
 
@@ -62,32 +61,11 @@ struct Ev {
 
 #[derive(Debug, PartialEq, Eq)]
 enum EvKind {
-    Send {
-        p: u32,
-    },
-    Recv {
-        p: u32,
-        msg: u32,
-    },
-    Join {
-        p: u32,
-    },
-    SyncDone {
-        p: u32,
-    },
-    Leave {
-        p: u32,
-    },
-    /// The `idx`-th event of the fault plan fires.
-    Fault {
-        idx: u32,
-    },
-    /// Periodic anti-entropy probe by process `p` (chaos runs).
-    SyncPulse {
-        p: u32,
-    },
-    /// Periodic durable-snapshot pulse across all live processes.
-    SnapshotPulse,
+    Send { p: u32 },
+    Recv { p: u32, msg: u32 },
+    Join { p: u32 },
+    SyncDone { p: u32 },
+    Leave { p: u32 },
 }
 
 // Min-heap ordering on (time, tie): BinaryHeap is a max-heap, so reverse.
@@ -114,30 +92,10 @@ struct MsgRec<S> {
     tvc: Option<Box<[u32]>>,
 }
 
-/// A process's durable snapshot: protocol state plus oracle state, taken
-/// periodically under a fault plan. A crashed process restarts from here
-/// (everything since — including its pending buffer — is lost) and must
-/// catch up through anti-entropy. The received-set is *not* snapshotted:
-/// it is rebuilt at restore time from the snapshot's delivered state, so
-/// messages that were pending at snapshot time are correctly re-fetched.
-#[derive(Clone)]
-struct ProcSnap<D> {
-    disc: D,
-    true_vc: Vec<u32>,
-    sent: u32,
-    exact: Option<ExactChecker>,
-    eps: Option<EpsilonEstimator>,
-}
-
 struct Proc<D> {
     disc: D,
     active: bool,
     syncing: bool,
-    /// Crashed under a fault plan: inactive until a Recover event.
-    crashed: bool,
-    /// Whether a Send event for this process is still in the heap (a
-    /// crash orphans the chain; recovery must restart it exactly once).
-    send_chain: bool,
     /// Entry-indexed pending set: received messages parked on the wake
     /// channel they are blocked on (see [`crate::wake`]).
     wake: WakeTable,
@@ -146,13 +104,12 @@ struct Proc<D> {
     exact: Option<ExactChecker>,
     eps: Option<EpsilonEstimator>,
     seen: Option<Vec<u64>>,
-    snap: Option<Box<ProcSnap<D>>>,
     tracer: Tracer,
 }
 
 impl<D> Proc<D> {
     fn saw(&mut self, msg: u32) -> bool {
-        let bits = self.seen.as_mut().expect("seen bitmap in gossip or chaos mode");
+        let bits = self.seen.as_mut().expect("seen bitmap in gossip mode");
         let (word, bit) = ((msg / 64) as usize, msg % 64);
         if bits.len() <= word {
             bits.resize(word + 1, 0);
@@ -161,31 +118,6 @@ impl<D> Proc<D> {
         bits[word] |= 1 << bit;
         already
     }
-
-    fn has_seen(&self, msg: u32) -> bool {
-        self.seen.as_ref().is_some_and(|bits| {
-            let (word, bit) = ((msg / 64) as usize, msg % 64);
-            bits.get(word).is_some_and(|w| w & (1 << bit) != 0)
-        })
-    }
-}
-
-/// Live fault-plan interpreter state. Fault randomness (link-fault coin
-/// flips, anti-entropy delays) draws from its own derived rng stream so
-/// it never perturbs the base workload's stream.
-struct Chaos {
-    plan: FaultPlan,
-    /// Current partition group per process (all equal when healed).
-    group_of: Vec<u32>,
-    /// Link-fault rates in force, if a window is open.
-    link: Option<LinkFaults>,
-    rng: SimRng,
-    sync_round: u64,
-    snapshot_us: u64,
-    sync_us: u64,
-    /// Sync probes stop here: past the send cutoff plus enough rounds
-    /// for post-heal convergence.
-    horizon_us: u64,
 }
 
 struct Engine<'c, D: Discipline> {
@@ -201,7 +133,6 @@ struct Engine<'c, D: Discipline> {
     track_truth: bool,
     duration_us: u64,
     warmup_us: u64,
-    chaos: Option<Chaos>,
 }
 
 impl<D: Discipline + Clone> Engine<'_, D> {
@@ -213,7 +144,6 @@ impl<D: Discipline + Clone> Engine<'_, D> {
     fn schedule_next_send(&mut self, p: u32, now: u64) {
         let next =
             now + self.rng.exponential(self.cfg.mean_send_interval_ms * MICROS_PER_MS) as u64;
-        self.procs[p as usize].send_chain = next <= self.duration_us;
         if next <= self.duration_us {
             self.push(next, EvKind::Send { p });
         }
@@ -342,8 +272,6 @@ impl<D: Discipline + Clone> Engine<'_, D> {
     fn handle_send(&mut self, p: u32, now: u64) {
         let pi = p as usize;
         if !self.procs[pi].active || self.procs[pi].syncing {
-            // The chain dies here; a recovery must restart it.
-            self.procs[pi].send_chain = false;
             return;
         }
         self.schedule_next_send(p, now);
@@ -394,12 +322,6 @@ impl<D: Discipline + Clone> Engine<'_, D> {
             tvc,
         });
 
-        // Chaos runs track the received-set for dedup and anti-entropy;
-        // a sender always "has" its own message.
-        let mut chaos = self.chaos.take();
-        if chaos.is_some() {
-            self.procs[pi].saw(midx);
-        }
         match self.gossip_fanout {
             None => {
                 // Reliable broadcast: one delivery per other active process.
@@ -409,27 +331,7 @@ impl<D: Discipline + Clone> Engine<'_, D> {
                         continue;
                     }
                     let delay = self.link_delay_us(d);
-                    let mut arrive = now + delay;
-                    if let Some(link) = chaos.as_mut().and_then(|c| c.link.map(|l| (l, c))) {
-                        let (link, c) = link;
-                        if c.rng.uniform_open() < link.corrupt {
-                            // The wire checksum catches it; frame discarded.
-                            self.metrics.corrupted_frames += 1;
-                            continue;
-                        }
-                        if c.rng.uniform_open() < link.drop {
-                            self.metrics.link_dropped += 1;
-                            continue;
-                        }
-                        if c.rng.uniform_open() < link.reorder {
-                            arrive += ms_to_us(link.reorder_extra_ms);
-                        }
-                        if c.rng.uniform_open() < link.dup {
-                            let copy_at = arrive + ms_to_us(link.reorder_extra_ms.max(1.0));
-                            self.push(copy_at, EvKind::Recv { p: q, msg: midx });
-                        }
-                    }
-                    self.push(arrive, EvKind::Recv { p: q, msg: midx });
+                    self.push(now + delay, EvKind::Recv { p: q, msg: midx });
                 }
             }
             Some(fanout) => {
@@ -437,7 +339,6 @@ impl<D: Discipline + Clone> Engine<'_, D> {
                 self.relay(pi, midx, now, fanout);
             }
         }
-        self.chaos = chaos;
     }
 
     fn relay(&mut self, from: usize, msg: u32, now: u64, fanout: usize) {
@@ -459,22 +360,6 @@ impl<D: Discipline + Clone> Engine<'_, D> {
         let pi = p as usize;
         if !self.procs[pi].active {
             return;
-        }
-        if let Some(chaos) = &self.chaos {
-            // Partition semantics: a frame is cut if sender and receiver
-            // are in different groups when it *arrives* (in-flight frames
-            // are lost at partition onset; anti-entropy re-fetches them).
-            let sender = self.msgs[msg as usize].sender as usize;
-            if chaos.group_of[sender] != chaos.group_of[pi] {
-                self.metrics.partition_dropped += 1;
-                return;
-            }
-            // Receive-side dedup: injected duplicates and redundant
-            // anti-entropy re-fetches are suppressed by message id.
-            if self.procs[pi].saw(msg) {
-                self.metrics.duplicate_frames += 1;
-                return;
-            }
         }
         if let Some(fanout) = self.gossip_fanout {
             if self.procs[pi].saw(msg) {
@@ -549,10 +434,7 @@ impl<D: Discipline + Clone> Engine<'_, D> {
     /// the legacy scan's.
     fn drain(&mut self, pi: usize, now: u64) {
         let n = self.procs.len();
-        // Chaos runs never free arena slots: a restored process rolls its
-        // delivered state back, so any message may need re-delivery (and
-        // anti-entropy needs its stamp) until the run ends.
-        let direct = self.gossip_fanout.is_none() && self.chaos.is_none();
+        let direct = self.gossip_fanout.is_none();
         let mut advanced: Vec<usize> = Vec::new();
         let mut woken: Vec<(u64, u32, u64)> = Vec::new();
         while let Some((midx, arrived_at)) = self.procs[pi].wake.pop_ready() {
@@ -672,199 +554,6 @@ impl<D: Discipline + Clone> Engine<'_, D> {
         }
         let _ = n;
     }
-
-    /// Clones a process's live state into its durable snapshot slot.
-    fn take_snapshot(&mut self, pi: usize, now: u64) {
-        let p = &self.procs[pi];
-        let snap = Box::new(ProcSnap {
-            disc: p.disc.clone(),
-            true_vc: p.true_vc.clone(),
-            sent: p.sent_count,
-            exact: p.exact.clone(),
-            eps: p.eps.clone(),
-        });
-        self.procs[pi].snap = Some(snap);
-        self.procs[pi].tracer.emit_at(now, || TraceEvent::SnapshotTaken);
-    }
-
-    /// Periodic durable-snapshot pulse: every live process checkpoints.
-    fn handle_snapshot_pulse(&mut self, now: u64) {
-        let every = self.chaos.as_ref().expect("snapshot pulse in chaos run").snapshot_us;
-        if now + every <= self.duration_us {
-            self.push(now + every, EvKind::SnapshotPulse);
-        }
-        for pi in 0..self.procs.len() {
-            if self.procs[pi].active && !self.procs[pi].crashed {
-                self.take_snapshot(pi, now);
-            }
-        }
-        self.metrics.recovery.snapshots_taken += 1;
-    }
-
-    /// Restores a crashed process from its last durable snapshot. The
-    /// sequence counter is WAL-backed (it survives the crash), so the
-    /// clock bumps of post-snapshot own sends are replayed — otherwise
-    /// the restored clock would re-issue already-used stamp heights and
-    /// peers would classify fresh messages as stale.
-    fn restore_proc(&mut self, node: usize, now: u64) {
-        let snap = match &self.procs[node].snap {
-            Some(s) => (**s).clone(),
-            None => return,
-        };
-        let durable_sent = self.procs[node].sent_count;
-        // Rebuild the received-set from the snapshot's *delivered* state:
-        // messages that were merely pending at snapshot time were lost
-        // with the crash and must be re-fetched, so they stay unseen.
-        let mut seen: Vec<u64> = Vec::new();
-        let mark = |seen: &mut Vec<u64>, midx: usize| {
-            let (word, bit) = (midx / 64, midx % 64);
-            if seen.len() <= word {
-                seen.resize(word + 1, 0);
-            }
-            seen[word] |= 1 << bit;
-        };
-        for (midx, rec) in self.msgs.iter().enumerate() {
-            let own = rec.sender as usize == node;
-            let delivered =
-                snap.exact.as_ref().is_some_and(|e| e.contains(rec.sender as usize, rec.seq));
-            if own || delivered {
-                mark(&mut seen, midx);
-            }
-        }
-        let track_truth = self.track_truth;
-        let p = &mut self.procs[node];
-        p.disc = snap.disc;
-        p.true_vc = snap.true_vc;
-        p.exact = snap.exact;
-        p.eps = snap.eps;
-        p.seen = Some(seen);
-        for seq in snap.sent + 1..=durable_sent {
-            let _ = p.disc.stamp_send();
-            if track_truth {
-                p.true_vc[node] += 1;
-            }
-            if let Some(exact) = &mut p.exact {
-                exact.record(node, seq);
-            }
-            if let Some(eps) = &mut p.eps {
-                eps.record_own_send(node);
-            }
-        }
-        p.crashed = false;
-        p.active = true;
-        p.tracer.emit_at(now, || TraceEvent::SnapshotRestored);
-        self.metrics.recovery.snapshot_restores += 1;
-        if !self.procs[node].send_chain {
-            self.schedule_next_send(node as u32, now);
-        }
-    }
-
-    /// Applies the `idx`-th event of the fault plan.
-    fn handle_fault(&mut self, idx: usize, now: u64) {
-        let kind = {
-            let chaos = self.chaos.as_ref().expect("fault event in chaos run");
-            chaos.plan.events[idx].kind.clone()
-        };
-        match kind {
-            FaultKind::Crash { node } => {
-                let p = &mut self.procs[node];
-                if p.active && !p.crashed {
-                    p.active = false;
-                    p.crashed = true;
-                    // Everything since the last snapshot — including the
-                    // pending buffer — is gone.
-                    p.wake.clear();
-                    self.metrics.crashes += 1;
-                }
-            }
-            FaultKind::Recover { node } => {
-                if self.procs[node].crashed {
-                    self.restore_proc(node, now);
-                    self.metrics.recoveries += 1;
-                }
-            }
-            FaultKind::PartitionStart { groups } => {
-                let chaos = self.chaos.as_mut().expect("fault event in chaos run");
-                let rest = groups.len() as u32;
-                for g in &mut chaos.group_of {
-                    *g = rest; // unlisted nodes form one implicit group
-                }
-                for (gi, members) in groups.iter().enumerate() {
-                    for &m in members {
-                        chaos.group_of[m] = gi as u32;
-                    }
-                }
-            }
-            FaultKind::PartitionEnd => {
-                let chaos = self.chaos.as_mut().expect("fault event in chaos run");
-                for g in &mut chaos.group_of {
-                    *g = 0;
-                }
-            }
-            FaultKind::LinkFaultStart { faults } => {
-                self.chaos.as_mut().expect("fault event in chaos run").link = Some(faults);
-            }
-            FaultKind::LinkFaultEnd => {
-                self.chaos.as_mut().expect("fault event in chaos run").link = None;
-            }
-        }
-    }
-
-    /// Periodic anti-entropy probe: `p` asks one rotating peer for
-    /// everything it lacks (§4.2's SyncRequest/SyncResponse, collapsed
-    /// into one simulated exchange). Requests to crashed or partitioned
-    /// peers are lost; the next pulse retries a different peer.
-    fn handle_sync_pulse(&mut self, p: u32, now: u64) {
-        let pi = p as usize;
-        let (interval, horizon) = {
-            let c = self.chaos.as_ref().expect("sync pulse in chaos run");
-            (c.sync_us, c.horizon_us)
-        };
-        if now + interval <= horizon {
-            self.push(now + interval, EvKind::SyncPulse { p });
-        }
-        if !self.procs[pi].active {
-            return;
-        }
-        let n = self.procs.len();
-        let mut chaos = self.chaos.take().expect("sync pulse in chaos run");
-        self.metrics.recovery.sync_requests += 1;
-        let offset = 1 + (chaos.sync_round as usize % (n - 1));
-        chaos.sync_round += 1;
-        let q = (pi + offset) % n;
-        let reachable = self.procs[q].active && chaos.group_of[pi] == chaos.group_of[q];
-        if reachable {
-            self.metrics.recovery.sync_served += 1;
-            let d_ms = chaos.rng.normal_clamped(
-                self.cfg.latency_mean_ms,
-                self.cfg.latency_sigma_ms,
-                self.cfg.latency_floor_ms,
-            );
-            for midx in 0..self.msgs.len() as u32 {
-                if self.msgs[midx as usize].sender as usize == pi {
-                    continue;
-                }
-                if !self.procs[q].has_seen(midx) || self.procs[pi].has_seen(midx) {
-                    continue;
-                }
-                let skew = chaos.rng.normal_clamped(
-                    d_ms,
-                    self.cfg.skew_sigma_ms,
-                    self.cfg.latency_floor_ms,
-                );
-                self.push(now + ms_to_us(skew), EvKind::Recv { p, msg: midx });
-                let (sender, seq) = {
-                    let rec = &self.msgs[midx as usize];
-                    (rec.sender, u64::from(rec.seq))
-                };
-                self.procs[pi].tracer.emit_at(now, || TraceEvent::Refetched { sender, seq });
-                self.metrics.recovery.refetched += 1;
-                self.metrics.last_refetch_ms =
-                    self.metrics.last_refetch_ms.max(now as f64 / MICROS_PER_MS);
-            }
-        }
-        self.chaos = Some(chaos);
-    }
 }
 
 /// Runs one simulation, constructing each process's discipline with
@@ -904,6 +593,14 @@ where
     F: FnMut(ProcessId, KeySet) -> D,
 {
     config.validate().map_err(SimError::InvalidConfig)?;
+    if config.faults.is_some() {
+        return Err(SimError::InvalidConfig(
+            "fault plans run through the endpoint chaos engine \
+             (crate::chaos::simulate_endpoint_chaos, or the simulate_prob / \
+             simulate_vector fronts), not the discipline engine"
+                .into(),
+        ));
+    }
     let started = Instant::now();
     let n = config.n;
     let track_truth = config.track_exact || config.track_epsilon;
@@ -926,15 +623,12 @@ where
                 disc,
                 active: false,
                 syncing: false,
-                crashed: false,
-                send_chain: false,
                 wake,
                 true_vc: if track_truth { vec![0u32; n] } else { Vec::new() },
                 sent_count: 0,
                 exact: config.track_exact.then(|| ExactChecker::new(n)),
                 eps: config.track_epsilon.then(|| EpsilonEstimator::new(n)),
-                seen: (gossip_fanout.is_some() || config.faults.is_some()).then(Vec::new),
-                snap: None,
+                seen: gossip_fanout.is_some().then(Vec::new),
                 tracer: Tracer::ring(i as u32, config.trace_capacity),
             }
         })
@@ -953,46 +647,11 @@ where
         track_truth,
         duration_us: ms_to_us(config.duration_ms),
         warmup_us: ms_to_us(config.warmup_ms),
-        chaos: config.faults.as_ref().map(|plan| Chaos {
-            plan: plan.clone(),
-            group_of: vec![0; n],
-            link: None,
-            rng: SimRng::new(crate::rng::derive_seed(config.seed, 3)),
-            sync_round: 0,
-            snapshot_us: ms_to_us(plan.snapshot_every_ms).max(1),
-            sync_us: ms_to_us(plan.sync_interval_ms).max(1),
-            horizon_us: ms_to_us(config.duration_ms) + 12 * ms_to_us(plan.sync_interval_ms).max(1),
-        }),
     };
 
     // Bring up the initial membership (no state transfer at time zero).
     for p in 0..initial_active as u32 {
         engine.activate(p, 0);
-    }
-    // Chaos: seed every process's snapshot slot (a crash before the first
-    // pulse restores the pristine state), then schedule the fault events
-    // and the snapshot/sync pulse chains.
-    if engine.chaos.is_some() {
-        for pi in 0..n {
-            engine.take_snapshot(pi, 0);
-        }
-        let (events, snapshot_us, sync_us) = {
-            let c = engine.chaos.as_ref().expect("just set");
-            (c.plan.events.len(), c.snapshot_us, c.sync_us)
-        };
-        for idx in 0..events {
-            let at = {
-                let c = engine.chaos.as_ref().expect("just set");
-                ms_to_us(c.plan.events[idx].at_ms)
-            };
-            engine.push(at, EvKind::Fault { idx: idx as u32 });
-        }
-        engine.push(snapshot_us, EvKind::SnapshotPulse);
-        for p in 0..n as u32 {
-            // Stagger the probes so the cluster never syncs in lockstep.
-            let first = sync_us + (u64::from(p) * sync_us) / n as u64;
-            engine.push(first, EvKind::SyncPulse { p });
-        }
     }
     // Schedule later joins as Poisson arrivals over the remaining ids.
     if let Some(churn) = config.churn {
@@ -1027,9 +686,6 @@ where
                     engine.metrics.leaves += 1;
                 }
             }
-            EvKind::Fault { idx } => engine.handle_fault(idx as usize, ev.time),
-            EvKind::SyncPulse { p } => engine.handle_sync_pulse(p, ev.time),
-            EvKind::SnapshotPulse => engine.handle_snapshot_pulse(ev.time),
         }
     }
 
@@ -1046,33 +702,12 @@ where
         metrics.wake_gap_checks += pr.wake.stats().gap_checks;
         metrics.wake_wakeups += pr.wake.stats().wakeups;
     }
-    metrics.undelivered = if engine.chaos.is_some() {
-        // Under faults, `delivered_to` counts re-deliveries after state
-        // rollbacks, so convergence is judged from the oracles instead:
-        // every process alive at the end must hold every measured message
-        // (relative to its restored state) — the partition-heal /
-        // crash-catchup convergence invariant.
-        let mut missing = 0u64;
-        for (pi, pr) in engine.procs.iter().enumerate() {
-            if !pr.active {
-                continue;
-            }
-            let exact = pr.exact.as_ref().expect("chaos requires track_exact");
-            for rec in engine.msgs.iter().filter(|m| m.measured) {
-                if rec.sender as usize != pi && !exact.contains(rec.sender as usize, rec.seq) {
-                    missing += 1;
-                }
-            }
-        }
-        missing
-    } else {
-        engine
-            .msgs
-            .iter()
-            .filter(|m| m.measured)
-            .map(|m| u64::from(m.targets.saturating_sub(m.delivered_to)))
-            .sum()
-    };
+    metrics.undelivered = engine
+        .msgs
+        .iter()
+        .filter(|m| m.measured)
+        .map(|m| u64::from(m.targets.saturating_sub(m.delivered_to)))
+        .sum();
     metrics.wall_secs = started.elapsed().as_secs_f64();
     metrics.virtual_ms = last_time as f64 / MICROS_PER_MS;
     let mut trace: Vec<TraceRecord> = Vec::new();
@@ -1085,15 +720,20 @@ where
 
 /// Convenience: simulate the paper's probabilistic discipline over `space`.
 ///
+/// Configurations carrying a fault plan run through the endpoint chaos
+/// engine ([`crate::chaos`]): every process is hosted by the production
+/// [`pcb_broadcast::Endpoint`] rather than a lean discipline.
+///
 /// # Errors
 ///
 /// See [`simulate`].
 pub fn simulate_prob(config: &SimConfig, space: KeySpace) -> Result<RunMetrics, SimError> {
-    simulate(config, space, |_, keys| pcb_broadcast::ProbDiscipline::new(keys))
+    simulate_prob_traced(config, space).map(|(metrics, _)| metrics)
 }
 
 /// Convenience: [`simulate_traced`] over the paper's probabilistic
-/// discipline.
+/// discipline (fault plans dispatch to [`crate::chaos`], see
+/// [`simulate_prob`]).
 ///
 /// # Errors
 ///
@@ -1102,6 +742,9 @@ pub fn simulate_prob_traced(
     config: &SimConfig,
     space: KeySpace,
 ) -> Result<(RunMetrics, Vec<TraceRecord>), SimError> {
+    if config.faults.is_some() {
+        return crate::chaos::simulate_endpoint_chaos(config, space, config.policy);
+    }
     simulate_traced(config, space, |_, keys| pcb_broadcast::ProbDiscipline::new(keys))
 }
 
@@ -1122,12 +765,22 @@ pub fn simulate_prob_detecting(
 
 /// Convenience: the exact vector-clock baseline.
 ///
+/// Fault plans dispatch to the endpoint chaos engine with the full
+/// per-process key space — `(R, K) = (N, 1)` distinct entries behave
+/// exactly like a vector clock, so the certified code path is still the
+/// production [`pcb_broadcast::Endpoint`].
+///
 /// # Errors
 ///
 /// See [`simulate`].
 pub fn simulate_vector(config: &SimConfig) -> Result<RunMetrics, SimError> {
-    let space = KeySpace::new(1, 1).expect("trivial space");
     let n = config.n;
+    if config.faults.is_some() {
+        let space = KeySpace::vector(n).map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+        return crate::chaos::simulate_endpoint_chaos(config, space, AssignmentPolicy::RoundRobin)
+            .map(|(metrics, _)| metrics);
+    }
+    let space = KeySpace::new(1, 1).expect("trivial space");
     simulate(config, space, |id, _| pcb_broadcast::VectorDiscipline::new(id, n))
 }
 

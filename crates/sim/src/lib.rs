@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod fault;
@@ -39,6 +40,7 @@ pub mod rng;
 pub mod runner;
 pub mod wake;
 
+pub use chaos::{record_endpoint_chaos, simulate_endpoint_chaos, ChaosRecord};
 pub use config::{ChurnModel, Dissemination, LatencyDistribution, LossModel, SimConfig};
 pub use engine::{
     simulate, simulate_fifo, simulate_immediate, simulate_prob, simulate_prob_detecting,

@@ -1,0 +1,69 @@
+//! Shell-purity guard: the sans-IO refactor moved the whole per-process
+//! protocol — dedup, snapshots, anti-entropy policy, sync backoff — into
+//! `pcb-broadcast::Endpoint`. The shells (the simulator's event loop and
+//! the runtime's node loop) must never grow it back: any reference to the
+//! protocol's internals from a shell source file means the chaos
+//! certificates and the live path have started to diverge again.
+//!
+//! This is a source-text guard on purpose. The tokens below are internal
+//! identifiers a shell has no legitimate reason to even *mention*; an
+//! import or a re-implementation both trip it.
+
+use std::fs;
+use std::path::Path;
+
+/// Identifiers that may only appear inside `pcb-broadcast`:
+/// duplicate-suppression internals, durable-snapshot internals, and the
+/// anti-entropy backoff machinery.
+const FORBIDDEN: &[&str] =
+    &["DedupFilter", "ProcessSnapshot", "encode_snapshot", "sync_in_flight", "idle_backoff"];
+
+/// Shell sources, relative to this crate's manifest dir. These files own
+/// scheduling, IO/fault interpretation, and oracles — nothing else.
+const SHELLS: &[&str] =
+    &["src/engine.rs", "src/chaos.rs", "../runtime/src/node.rs", "../runtime/src/loopback.rs"];
+
+#[test]
+fn shells_do_not_regrow_protocol_logic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut offences = Vec::new();
+    for rel in SHELLS {
+        let path = root.join(rel);
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("guard cannot read {}: {e}", path.display()));
+        for (lineno, line) in text.lines().enumerate() {
+            for token in FORBIDDEN {
+                if line.contains(token) {
+                    offences.push(format!("{rel}:{}: `{token}` in: {}", lineno + 1, line.trim()));
+                }
+            }
+        }
+    }
+    assert!(
+        offences.is_empty(),
+        "shell source references protocol internals — move that logic into \
+         pcb-broadcast::Endpoint instead:\n{}",
+        offences.join("\n")
+    );
+}
+
+#[test]
+fn guard_token_list_is_still_meaningful() {
+    // If the protocol crate renames these internals the guard silently
+    // guards nothing, so require each token to still exist there.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let broadcast = root.join("../broadcast/src");
+    let mut corpus = String::new();
+    for entry in fs::read_dir(&broadcast).expect("read pcb-broadcast sources") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            corpus.push_str(&fs::read_to_string(&path).expect("read source"));
+        }
+    }
+    for token in FORBIDDEN {
+        assert!(
+            corpus.contains(token),
+            "guard token `{token}` no longer exists in pcb-broadcast — update the guard list"
+        );
+    }
+}

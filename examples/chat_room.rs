@@ -7,8 +7,12 @@
 //!
 //! Six users exchange messages through the in-memory latency-injecting
 //! transport (Gaussian delay + skew, like the paper's network model).
-//! Replies are sent only after the original was delivered, so they are
-//! causally ordered — every screen shows a question before its answer.
+//! Each node thread is a thin IO shell around the sans-IO
+//! `pcb_broadcast::Endpoint` — the identical state machine the chaos
+//! simulator certifies — so the protocol behaviour here is the certified
+//! one, not a runtime-private variant. Replies are sent only after the
+//! original was delivered, so they are causally ordered — every screen
+//! shows a question before its answer.
 //!
 //! Tracing is on, so when the colliding `(16, 2)` clock makes Algorithm 4
 //! raise a false alert, the trace replay prints *why*: which concurrent
@@ -67,13 +71,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  ({alerts} Algorithm 4 alerts — false alarms from concurrent replies)");
     }
 
-    // Each user's protocol stats.
+    // Each user's protocol stats, straight from the endpoint: ordering
+    // counters plus the recovery-layer health (durable snapshots taken
+    // by the background tick chain; syncs stay 0 on a healthy network).
     println!();
     for (i, user) in users.iter().enumerate() {
         let status = cluster.node(i).status().ok_or("node down")?;
         println!(
-            "{user:>6}: sent={} delivered={} pending={} clock={}",
-            status.stats.sent, status.stats.delivered, status.pending, status.clock
+            "{user:>6}: sent={} delivered={} pending={} snapshots={} syncs={} clock={}",
+            status.stats.sent,
+            status.stats.delivered,
+            status.pending,
+            status.recovery.snapshots_taken,
+            status.recovery.sync_requests,
+            status.clock
         );
     }
 

@@ -7,6 +7,7 @@
 #   scripts/verify.sh --chaos  # the above plus a deterministic chaos soak
 #   scripts/verify.sh --trace  # the above plus the observability gate
 #   scripts/verify.sh --perf   # the above plus hot-path regression gates
+#   scripts/verify.sh --equiv  # the above plus the sim/runtime differential gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,6 +70,17 @@ fi
 # its reversed-FIFO worst case (PR 1's numbers).
 if [[ "${1:-}" == "--perf" ]]; then
     run cargo run --release -p pcb-bench --bin bench_report -- --check
+fi
+
+# Optional equivalence stage: the differential harness — seeded chaos
+# traces recorded by the simulator's endpoint driver and replayed through
+# the runtime's loopback cluster must match bit-for-bit (delivery order,
+# alert flags, recovery counters) — plus the shell-purity guard that
+# fails if `sim::engine`/`sim::chaos` or `runtime::node` regrow protocol
+# logic that belongs inside `pcb-broadcast::Endpoint`.
+if [[ "${1:-}" == "--equiv" ]]; then
+    run cargo test -p pcb-runtime --test equivalence -q
+    run cargo test -p pcb-sim --test shell_guard -q
 fi
 
 echo "verify: OK"
