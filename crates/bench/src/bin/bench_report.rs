@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p pcb-bench --bin bench_report -- \
-//!     [--out BENCH_pr4.json] [--threads N] [--check]
+//!     [--out BENCH_pr6.json] [--threads N] [--check]
 //! ```
 //!
 //! Sections:
@@ -15,20 +15,28 @@
 //!   chain at `R = 100`, `K ∈ {1..8}`, steady state (cadence 32);
 //! * `sweep` — wall-clock of one figure-3 sweep at 1 thread vs
 //!   `--threads` workers (output is byte-identical either way);
+//! * `batch` — contended multi-producer wire ingest: 8 delta-encoded
+//!   senders into one `Endpoint::handle_wire_batch` receiver, scaling
+//!   table at 1/2/4/8 threads vs the sequential `handle_wire` loop,
+//!   with a determinism smoke (bit-identical deliveries at every thread
+//!   count) that runs on any machine;
 //! * `pending_wakeup` — per-arrival latency and work counters of the
 //!   entry-indexed wake-up engine on its reversed-FIFO worst case.
 //!
 //! With `--check` the run enforces the regression thresholds from
 //! `scripts/verify.sh --perf` and exits non-zero on any violation:
-//! delta ≤ 0.35× full at `(100, 4)`; 8-thread sweep ≥ 4× 1-thread
-//! (only on ≥ 8 cores); wake-up engine still waking ≤ 1.05 waiters per
-//! delivery with unit fan-out on the FIFO chain (the PR 1 numbers).
+//! delta ≤ 0.35× full at `(100, 4)`; 8-thread sweep ≥ 4× 1-thread and
+//! 8-thread batch ingest ≥ 4× sequential (both gates only on ≥ 8 cores,
+//! otherwise printed as an explicit `SKIPPED (n cores)` marker); wake-up
+//! engine still waking ≤ 1.05 waiters per delivery with unit fan-out on
+//! the FIFO chain (the PR 1 numbers).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use bytes::Bytes;
-use pcb_broadcast::{wire, DeltaEncoder, Message, PcbProcess, WakeupIndex};
+use pcb_broadcast::endpoint::{Endpoint, Output};
+use pcb_broadcast::{wire, DeltaEncoder, Message, MessageId, PcbConfig, PcbProcess, WakeupIndex};
 use pcb_clock::{AssignmentPolicy, KeyAssigner, KeySpace, ProbClock, ProcessId};
 use pcb_sim::{runner, SweepOptions};
 
@@ -103,8 +111,10 @@ fn throughput(n: usize) -> f64 {
     n as f64 / secs
 }
 
-/// Wall-clock of one small figure-3 sweep at the given thread count.
-fn sweep_secs(threads: usize) -> (usize, f64) {
+/// Wall-clock of one small figure-3 sweep at the given thread count,
+/// plus the rendered CSV — the sweep's full observable output — so runs
+/// at different thread counts can be diffed byte-for-byte.
+fn sweep_secs(threads: usize) -> (usize, f64, String) {
     let opts =
         SweepOptions { scale: 0.1 * pcb_bench::scale().max(0.25), seed: 5, reps: 2, threads };
     let ns = [150, 200];
@@ -112,8 +122,101 @@ fn sweep_secs(threads: usize) -> (usize, f64) {
     let jobs = ns.len() * ks.len() * opts.reps;
     let start = Instant::now();
     let points = runner::figure3(opts, &ns, &ks).expect("sweep runs");
+    let secs = start.elapsed().as_secs_f64();
     assert_eq!(points.len(), ns.len() * ks.len());
-    (jobs, start.elapsed().as_secs_f64())
+    (jobs, secs, pcb_sim::render_csv(&points))
+}
+
+const BATCH_SENDERS: usize = 8;
+const BATCH_CHUNK: usize = 512;
+
+/// One row of the batch-ingest scaling table.
+struct BatchRow {
+    threads: usize,
+    msgs_per_sec: f64,
+    speedup: f64,
+}
+
+struct BatchScaling {
+    frames: usize,
+    seq_msgs_per_sec: f64,
+    rows: Vec<BatchRow>,
+}
+
+/// A contended multi-producer wire trace: `BATCH_SENDERS` independent
+/// senders over the shared `(100, 4)` space, each with its own delta
+/// chain, interleaved round-robin. Senders never observe each other, so
+/// every frame is deliverable on arrival — the bench measures pure
+/// decode + pre-scan + delivery throughput, not blocking.
+fn batch_trace(msgs_per_sender: usize) -> (Vec<(u64, Bytes)>, pcb_clock::KeySet) {
+    let space = KeySpace::new(100, 4).expect("paper space");
+    let mut assigner = KeyAssigner::new(space, AssignmentPolicy::UniformRandom, 13);
+    let mut senders: Vec<PcbProcess<Bytes>> = (0..BATCH_SENDERS)
+        .map(|i| PcbProcess::new(ProcessId::new(i), assigner.next_set().expect("keys")))
+        .collect();
+    let receiver_keys = assigner.next_set().expect("keys");
+    let mut encoders: Vec<DeltaEncoder> =
+        (0..BATCH_SENDERS).map(|_| DeltaEncoder::new(32)).collect();
+    let payload = Bytes::from(vec![0u8; 32]);
+    let mut frames = Vec::with_capacity(BATCH_SENDERS * msgs_per_sender);
+    for round in 0..msgs_per_sender {
+        for (s, sender) in senders.iter_mut().enumerate() {
+            let m = sender.broadcast(payload.clone());
+            frames.push(((round * BATCH_SENDERS + s) as u64, encoders[s].encode(&m)));
+        }
+    }
+    (frames, receiver_keys)
+}
+
+fn batch_receiver(keys: &pcb_clock::KeySet) -> Endpoint<Bytes> {
+    // Recovery disabled: the bench isolates the ingest path.
+    Endpoint::new(ProcessId::new(BATCH_SENDERS), keys.clone(), PcbConfig::default(), None)
+}
+
+fn delivery_ids(outs: &[Output<Bytes>]) -> Vec<MessageId> {
+    outs.iter()
+        .filter_map(|o| match o {
+            Output::Deliver(d) => Some(d.message.id()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Sequential `handle_wire` loop vs `handle_wire_batch` at 1/2/4/8
+/// threads; asserts bit-identical deliveries at every thread count (the
+/// determinism smoke that runs on any machine, any core count).
+fn batch_scaling(msgs_per_sender: usize) -> BatchScaling {
+    let (frames, receiver_keys) = batch_trace(msgs_per_sender);
+
+    let mut seq = batch_receiver(&receiver_keys);
+    let start = Instant::now();
+    let mut seq_ids = Vec::with_capacity(frames.len());
+    for (at, frame) in &frames {
+        let outs = seq.handle_wire(frame.clone(), *at).expect("in-order chain decodes");
+        seq_ids.extend(delivery_ids(&outs));
+    }
+    let seq_secs = start.elapsed().as_secs_f64();
+    assert_eq!(seq_ids.len(), frames.len(), "independent senders: all deliverable on arrival");
+    let seq_msgs_per_sec = frames.len() as f64 / seq_secs;
+
+    let rows = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            let mut ep = batch_receiver(&receiver_keys);
+            ep.set_parallel(threads);
+            let start = Instant::now();
+            let mut ids = Vec::with_capacity(frames.len());
+            for chunk in frames.chunks(BATCH_CHUNK) {
+                let (outs, errors) = ep.handle_wire_batch(chunk);
+                assert!(errors.is_empty(), "in-order chain decodes");
+                ids.extend(delivery_ids(&outs));
+            }
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(ids, seq_ids, "batch ingest at {threads} threads diverged");
+            BatchRow { threads, msgs_per_sec: frames.len() as f64 / secs, speedup: seq_secs / secs }
+        })
+        .collect();
+    BatchScaling { frames: frames.len(), seq_msgs_per_sec, rows }
 }
 
 struct Wakeup {
@@ -169,7 +272,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
     let threads = pcb_bench::threads();
     let cores = pcb_sim::pool::default_threads();
 
@@ -183,9 +286,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ratio_at_k4 = wire_points[3].ratio();
 
     eprintln!("timing the figure-3 sweep at 1 vs {threads} thread(s) ...");
-    let (jobs, secs_1) = sweep_secs(1);
-    let (_, secs_n) = sweep_secs(threads);
+    let (jobs, secs_1, csv_1) = sweep_secs(1);
+    let (_, secs_n, csv_n) = sweep_secs(threads);
     let speedup = secs_1 / secs_n;
+    assert_eq!(csv_1, csv_n, "sweep output diverged at {threads} threads");
+    // The determinism smoke must exercise real fan-out even on a small
+    // machine, where `threads` defaults to 1: force a 4-way run too.
+    let smoke_threads = threads.max(4);
+    if smoke_threads != threads {
+        let (_, _, csv_smoke) = sweep_secs(smoke_threads);
+        assert_eq!(csv_1, csv_smoke, "sweep output diverged at {smoke_threads} threads");
+    }
+    println!("sweep determinism smoke: OK (byte-identical at 1/{threads}/{smoke_threads} threads)");
+
+    eprintln!("measuring batched wire ingest at 1/2/4/8 threads ...");
+    let batch = batch_scaling(2_500);
+    let batch_speedup_at_8 =
+        batch.rows.iter().find(|r| r.threads == 8).map(|r| r.speedup).unwrap_or(0.0);
+    println!("batch determinism smoke: OK (bit-identical deliveries at 1/2/4/8 threads)");
 
     eprintln!("measuring the pending-wakeup cascade ...");
     let wakeup = pending_wakeup(2000);
@@ -193,7 +311,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"pr\": 6,");
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(
@@ -219,6 +337,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         json,
         "  \"sweep\": {{ \"jobs\": {jobs}, \"wall_secs_1_thread\": {secs_1:.3}, \"wall_secs_n_threads\": {secs_n:.3}, \"speedup\": {speedup:.2} }},"
     );
+    let _ = writeln!(json, "  \"batch\": {{");
+    let _ = writeln!(json, "    \"senders\": {BATCH_SENDERS},");
+    let _ = writeln!(json, "    \"frames\": {},", batch.frames);
+    let _ = writeln!(json, "    \"chunk\": {BATCH_CHUNK},");
+    let _ = writeln!(json, "    \"seq_msgs_per_sec\": {:.0},", batch.seq_msgs_per_sec);
+    let _ = writeln!(json, "    \"rows\": [");
+    for (i, r) in batch.rows.iter().enumerate() {
+        let comma = if i + 1 < batch.rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"threads\": {}, \"msgs_per_sec\": {:.0}, \"speedup\": {:.2} }}{comma}",
+            r.threads, r.msgs_per_sec, r.speedup
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"pending_wakeup\": {{ \"arrivals\": {}, \"ns_per_arrival\": {:.0}, \"gap_checks\": {}, \"wakeups\": {}, \"wakeups_per_delivery\": {wakeups_per_delivery:.3}, \"max_wake_fanout\": {} }}",
@@ -238,7 +372,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if cores >= 8 && threads >= 8 && speedup < 4.0 {
             failures.push(format!("sweep speedup at {threads} threads is {speedup:.2}x, need 4x"));
         } else if cores < 8 {
-            println!("speedup gate skipped: {cores} core(s) < 8");
+            println!("sweep speedup gate: SKIPPED ({cores} cores < 8)");
+        }
+        if cores >= 8 && batch_speedup_at_8 < 4.0 {
+            failures.push(format!(
+                "batch ingest speedup at 8 threads is {batch_speedup_at_8:.2}x, need 4x"
+            ));
+        } else if cores < 8 {
+            println!("batch speedup gate: SKIPPED ({cores} cores < 8)");
         }
         if wakeups_per_delivery > 1.05 || wakeup.max_wake_fanout > 1 {
             failures.push(format!(

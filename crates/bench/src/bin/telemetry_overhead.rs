@@ -92,7 +92,7 @@ fn cascade_hooked(
     let mut delivered = 0;
     while let Some((arrived, m)) = index.pop_ready_entry() {
         clock.record_delivery(m.keys());
-        let (sender, seq) = (m.id().sender().index() as u32, m.id().seq());
+        let (sender, seq) = (m.id().sender().index_u32(), m.id().seq());
         tracer.emit(|| TraceEvent::Delivered {
             sender,
             seq,
@@ -104,7 +104,7 @@ fn cascade_hooked(
         let keys: Vec<usize> = m.keys().iter().collect();
         delivered += 1;
         index.on_clock_advance_with(keys, &clock, |woken, entry| {
-            let (sender, seq) = (woken.id().sender().index() as u32, woken.id().seq());
+            let (sender, seq) = (woken.id().sender().index_u32(), woken.id().seq());
             tracer.emit(|| TraceEvent::Woken { sender, seq, entry: entry as u32 });
         });
     }

@@ -85,11 +85,17 @@ impl DedupFilter {
             .is_some_and(|w| id.seq() <= w.prefix || w.exceptions.contains(&id.seq()))
     }
 
-    /// Enumerates every seen id (prefix ranges expanded). Time is
-    /// proportional to the number of *messages*, memory stays
-    /// proportional to the number of *senders and gaps*.
+    /// Enumerates every seen id (prefix ranges expanded), ordered by
+    /// sender then sequence. The order is deterministic — these ids go
+    /// out on the wire in sync probes, and identical endpoints must emit
+    /// identical probes (the hash map's iteration order is seeded per
+    /// process and must not leak into outputs). Time is proportional to
+    /// the number of *messages*, memory stays proportional to the number
+    /// of *senders and gaps*.
     pub fn iter(&self) -> impl Iterator<Item = MessageId> + '_ {
-        self.windows.iter().flat_map(|(&sender, window)| {
+        let mut senders: Vec<_> = self.windows.iter().collect();
+        senders.sort_by_key(|(&sender, _)| sender);
+        senders.into_iter().flat_map(|(&sender, window)| {
             (1..=window.prefix)
                 .chain(window.exceptions.iter().copied())
                 .map(move |seq| MessageId::new(sender, seq))

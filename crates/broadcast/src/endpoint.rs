@@ -63,14 +63,20 @@
 //! # Ok::<(), pcb_clock::KeyError>(())
 //! ```
 
-use pcb_clock::{KeySet, ProcessId};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use pcb_clock::{Gap, KeySet, ProcessId};
 use pcb_telemetry::{TraceEvent, TraceRecord, Tracer};
 
+use crate::discipline::{Discipline, ProbDiscipline};
 use crate::message::{Message, MessageId};
+use crate::par::BatchPool;
 use crate::pending::WakeupStats;
 use crate::process::{Delivery, PcbConfig, PcbProcess, ProcessStats};
 use crate::recovery::{Counters, MessageStore, SyncRequest};
 use crate::snapshot::ProcessSnapshot;
+use crate::wire::{peek_sender, WireError};
 
 /// Store retention when no recovery timing is configured (5 s).
 const DEFAULT_STORE_WINDOW_US: u64 = 5_000_000;
@@ -227,6 +233,14 @@ pub struct Endpoint<P> {
     durable_seq: u64,
     next_snapshot_us: u64,
     backoff_resets: u64,
+    /// High-water mark of `now_us` across every stimulus. All timer
+    /// arithmetic assumes a monotone shell clock; a rewound `now_us` is
+    /// clamped to this instead of silently re-arming timers in the past.
+    last_now_us: u64,
+    /// Requested parallelism for the batch paths (1 = sequential).
+    threads: usize,
+    /// Worker pool for batched read-only phases; present iff `threads > 1`.
+    pool: Option<BatchPool>,
 }
 
 impl<P: Clone> Endpoint<P> {
@@ -265,6 +279,9 @@ impl<P: Clone> Endpoint<P> {
             durable_seq: 0,
             next_snapshot_us,
             backoff_resets: 0,
+            last_now_us: 0,
+            threads: 1,
+            pool: None,
         }
     }
 
@@ -277,24 +294,46 @@ impl<P: Clone> Endpoint<P> {
     /// the floor exactly as they would at a dead process.
     pub fn handle(&mut self, input: Input<P>, now_us: u64) -> Vec<Output<P>> {
         let mut out = Vec::new();
+        self.handle_into(input, now_us, None, &mut out);
+        out
+    }
+
+    /// [`Endpoint::handle`] into a caller-owned output buffer, optionally
+    /// carrying a deliverability pre-scan `hint` for a `FrameReceived`
+    /// (see [`PcbProcess::on_receive_hinted`]; batch paths compute these
+    /// on the worker pool, the hint never changes observable behaviour).
+    fn handle_into(
+        &mut self,
+        input: Input<P>,
+        now_us: u64,
+        hint: Option<Gap>,
+        out: &mut Vec<Output<P>>,
+    ) {
+        // Clamp a backwards shell clock to the last time seen. Every
+        // deadline below (`next_snapshot_us`, `next_idle_sync_us`, the
+        // sync timeout) assumes monotone time; a rewound `now_us` used to
+        // be masked by `saturating_sub` into "age zero", which silently
+        // rescheduled ticks and probes into the past.
+        let now_us = now_us.max(self.last_now_us);
+        self.last_now_us = now_us;
         if self.crashed {
             match input {
-                Input::Tick => self.schedule_tick(now_us, &mut out),
-                Input::Restore => self.restore(now_us, &mut out),
+                Input::Tick => self.schedule_tick(now_us, out),
+                Input::Restore => self.restore(now_us, out),
                 _ => {}
             }
-            return out;
+            return;
         }
         // Recovery health is checked on *every* stimulus, not only
         // ticks: a busy inbox must not suppress snapshots or probes.
-        self.maybe_snapshot(now_us, &mut out);
-        self.maybe_request_sync(now_us, &mut out);
+        self.maybe_snapshot(now_us, out);
+        self.maybe_request_sync(now_us, out);
         match input {
             Input::FrameReceived(message) => {
                 self.last_activity_us = now_us;
                 self.reset_idle_backoff();
-                self.accept(message, false, now_us, &mut out);
-                self.maybe_request_sync(now_us, &mut out);
+                self.accept(message, false, now_us, hint, out);
+                self.maybe_request_sync(now_us, out);
             }
             Input::SyncRequest { from, known } => {
                 let response = self.store.handle_sync(&SyncRequest::new(known));
@@ -304,9 +343,9 @@ impl<P: Clone> Endpoint<P> {
                 out.push(Output::SyncReply { to: from, messages: response.messages });
             }
             Input::SyncResponse(messages) => {
-                self.on_sync_response(messages, now_us, &mut out);
+                self.on_sync_response(messages, now_us, out);
             }
-            Input::Tick => self.schedule_tick(now_us, &mut out),
+            Input::Tick => self.schedule_tick(now_us, out),
             Input::Broadcast(payload) => {
                 // Write-ahead: the sequence number becomes durable before
                 // the send's effects exist anywhere, so a crash between
@@ -323,7 +362,32 @@ impl<P: Clone> Endpoint<P> {
             }
             Input::Restore => {} // not crashed: nothing to restore
         }
-        out
+    }
+
+    /// Requests `threads`-way parallelism for the batch paths
+    /// ([`Endpoint::handle_batch`], [`Endpoint::handle_wire_batch`]):
+    /// spawns a persistent worker pool and re-stripes the wake channels
+    /// across `threads` shard groups.
+    ///
+    /// Gated on the discipline's [`Discipline::parallel`] capability
+    /// hook — the endpoint runs the probabilistic discipline, whose wake
+    /// channels are entry-local, so it opts in; a discipline without
+    /// channel locality would silently stay at 1. Determinism never
+    /// depends on this knob: delivery order and every counter are
+    /// bit-identical at any thread count, parallelism only moves
+    /// read-only work (wire decode, deliverability pre-scans) off the
+    /// apply thread.
+    pub fn set_parallel(&mut self, threads: usize) {
+        let threads = if ProbDiscipline::parallel() { threads.max(1) } else { 1 };
+        self.threads = threads;
+        self.pool = (threads > 1).then(|| BatchPool::new(threads));
+        self.process.reshard(threads);
+    }
+
+    /// Current batch parallelism (1 = sequential).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// This endpoint's process id.
@@ -410,9 +474,10 @@ impl<P: Clone> Endpoint<P> {
         message: Message<P>,
         refetched: bool,
         now_us: u64,
+        hint: Option<Gap>,
         out: &mut Vec<Output<P>>,
     ) -> bool {
-        let deliveries = self.process.on_receive(message, now_us);
+        let deliveries = self.process.on_receive_hinted(message, now_us, hint);
         let any = !deliveries.is_empty();
         for delivery in deliveries {
             // The store insert is a stamp-refcount bump plus a payload
@@ -442,12 +507,12 @@ impl<P: Clone> Endpoint<P> {
         self.counters.refetched += messages.len() as u64;
         self.process.set_now(now_us);
         for message in &messages {
-            let (sender, seq) = (message.id().sender().index() as u32, message.id().seq());
+            let (sender, seq) = (message.id().sender().index_u32(), message.id().seq());
             self.process.tracer_mut().emit(|| TraceEvent::Refetched { sender, seq });
         }
         let mut delivered_any = false;
         for message in messages {
-            delivered_any |= self.accept(message, true, now_us, out);
+            delivered_any |= self.accept(message, true, now_us, None, out);
         }
         if let Some(timing) = self.timing {
             if delivered_any {
@@ -528,7 +593,7 @@ impl<P: Clone> Endpoint<P> {
         // Keep the lifecycle trace across the restore: PcbProcess::restore
         // starts a fresh ring, but the node's history (especially its
         // `Sent` records) must survive for trace replay to work.
-        let tracer = self.process.replace_tracer(Tracer::ring(self.id.index() as u32, 0));
+        let tracer = self.process.replace_tracer(Tracer::ring(self.id.index_u32(), 0));
         match self.stable.clone() {
             Some(snapshot) => {
                 let (process, store) = PcbProcess::restore(snapshot);
@@ -546,6 +611,16 @@ impl<P: Clone> Endpoint<P> {
             }
         }
         let _ = self.process.replace_tracer(tracer);
+        // The wire decoder's per-sender reconstruction stamps describe
+        // the *pre-crash* receive stream; reusing them would reconstruct
+        // post-restore deltas against bases this endpoint no longer
+        // remembers receiving. Drop them so the next delta from each
+        // sender surfaces `MissingDeltaBase` and is re-fetched or
+        // re-primed by a full frame.
+        self.store.reset_codec();
+        // Sharding is runtime configuration, not snapshot state: the
+        // rebuilt process starts sequential, so re-apply it.
+        self.process.reshard(self.threads);
         self.process.set_now(now_us);
         self.process.tracer_mut().emit(|| TraceEvent::SnapshotRestored);
         // Re-apply the clock effects of sends the WAL made durable after
@@ -554,6 +629,211 @@ impl<P: Clone> Endpoint<P> {
         self.last_activity_us = 0;
         self.reset_idle_backoff();
         self.maybe_request_sync(now_us, out);
+    }
+}
+
+impl<P: Clone + Send + Sync + 'static> Endpoint<P> {
+    /// Feeds a whole batch of stimuli through the state machine and
+    /// returns the concatenated outputs, in input order.
+    ///
+    /// Observable behaviour is **bit-identical** to calling
+    /// [`Endpoint::handle`] once per `(now_us, input)` pair — every
+    /// delivery, alert, probe, snapshot, and counter lands exactly where
+    /// the one-at-a-time path puts it. The batch only amortizes
+    /// *read-only* work: with [`Endpoint::set_parallel`] above 1, the
+    /// Algorithm 2 deliverability pre-scan for every `FrameReceived` runs
+    /// on the worker pool against the clock as of batch entry, and the
+    /// serial apply loop resumes each scan from the pre-computed gap
+    /// instead of entry 0. Soundness of that resume is the guard's
+    /// monotonicity in the delivered set; see
+    /// [`crate::pending::WakeupIndex::insert_hinted`].
+    pub fn handle_batch(&mut self, batch: Vec<(u64, Input<P>)>) -> Vec<Output<P>> {
+        let mut hints = self.prescan(&batch);
+        let mut out = Vec::new();
+        for (index, (now_us, input)) in batch.into_iter().enumerate() {
+            // A restore rewinds the clock to the snapshot, breaking the
+            // monotonicity that makes stale hints sound: drop the rest.
+            let invalidates = matches!(input, Input::Restore);
+            let hint = hints.get(index).copied().flatten();
+            self.handle_into(input, now_us, hint, &mut out);
+            if invalidates {
+                hints.iter_mut().for_each(|hint| *hint = None);
+            }
+        }
+        out
+    }
+
+    /// Computes the deliverability gap of every `FrameReceived` in the
+    /// batch against the current clock, chunked across the worker pool.
+    /// Returns `None` everywhere when sequential (hints then have no
+    /// work to save — the apply loop scans inline exactly as before).
+    fn prescan(&self, batch: &[(u64, Input<P>)]) -> Vec<Option<Gap>> {
+        let mut hints = vec![None; batch.len()];
+        let Some(pool) = self.pool.as_ref() else { return hints };
+        if self.crashed {
+            return hints; // deaf: no frame in this batch will be scanned
+        }
+        let frames: Vec<(usize, Message<P>)> = batch
+            .iter()
+            .enumerate()
+            .filter_map(|(index, (_, input))| match input {
+                Input::FrameReceived(message) => Some((index, message.clone())),
+                _ => None,
+            })
+            .collect();
+        if frames.len() < 2 {
+            return hints;
+        }
+        let clock = Arc::new(self.process.clock().clone());
+        let chunk = frames.len().div_ceil(pool.workers().max(1));
+        let jobs: Vec<_> = frames
+            .chunks(chunk)
+            .map(|part| {
+                let part = part.to_vec();
+                let clock = Arc::clone(&clock);
+                move || {
+                    part.into_iter()
+                        .map(|(index, message)| {
+                            (index, clock.deliverability_gap(message.timestamp(), message.keys()))
+                        })
+                        .collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        for (index, gap) in pool.run(jobs).into_iter().flatten() {
+            hints[index] = Some(gap);
+        }
+        hints
+    }
+}
+
+/// One decoded wire frame: the decode result plus, when a pool is
+/// active, its pre-scanned deliverability gap against the batch clock.
+type DecodedFrame = (Result<Message<Bytes>, WireError>, Option<Gap>);
+
+impl Endpoint<Bytes> {
+    /// Decodes one wire frame (v2 full / v3 full / v3 delta, see
+    /// [`crate::wire`]) through the store's long-lived per-sender delta
+    /// codec and feeds the message through [`Endpoint::handle`].
+    ///
+    /// A crashed endpoint returns `Ok` with no outputs **without touching
+    /// the codec**: frames at a dead process fall on the floor before
+    /// reconstruction, so the delta chain resumes only via full frames
+    /// (or anti-entropy re-fetch) after restore.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`WireError`] of an undecodable frame (corrupt
+    /// bytes, or a delta whose base this endpoint never saw); the frame
+    /// is dropped and the state machine is not stimulated, exactly as a
+    /// transport-level loss.
+    pub fn handle_wire(
+        &mut self,
+        frame: Bytes,
+        now_us: u64,
+    ) -> Result<Vec<Output<Bytes>>, WireError> {
+        if self.crashed {
+            return Ok(Vec::new());
+        }
+        let message = self.store.decode_frame(now_us, frame)?;
+        Ok(self.handle(Input::FrameReceived(message), now_us))
+    }
+
+    /// [`Endpoint::handle_wire`] over a whole batch of frames: one
+    /// parallel decode pass, one parallel deliverability pre-scan, one
+    /// serial apply sweep. Returns the concatenated outputs plus the
+    /// decode errors as `(batch index, error)` pairs; an undecodable
+    /// frame is skipped without stimulating the state machine, exactly
+    /// as the sequential path drops it.
+    ///
+    /// Outputs are bit-identical to calling [`Endpoint::handle_wire`]
+    /// per frame in order, at any thread count. The decode parallelism
+    /// shards frames by their **sender** (readable from the header
+    /// without decoding, [`peek_sender`]): per-sender delta chains are
+    /// independent, so each shard decodes its frames in original order
+    /// against its partition of the codec and the results merge back by
+    /// batch index.
+    pub fn handle_wire_batch(
+        &mut self,
+        frames: &[(u64, Bytes)],
+    ) -> (Vec<Output<Bytes>>, Vec<(usize, WireError)>) {
+        let mut out = Vec::new();
+        let mut errors = Vec::new();
+        if self.crashed {
+            return (out, errors); // deaf, codec untouched
+        }
+        let decoded = self.decode_batch(frames);
+        for (index, ((now_us, _), (result, hint))) in frames.iter().zip(decoded).enumerate() {
+            match result {
+                Ok(message) => {
+                    // Store insert before the stimulus, as the sequential
+                    // `decode_frame` does — a snapshot cut while handling
+                    // this frame must already retain it.
+                    self.store.insert(*now_us, message.clone());
+                    self.handle_into(Input::FrameReceived(message), *now_us, hint, &mut out);
+                }
+                Err(error) => errors.push((index, error)),
+            }
+        }
+        (out, errors)
+    }
+
+    /// Decodes `frames` in batch-index order per sender shard. With a
+    /// pool, the codec is partitioned by `sender % shards`
+    /// ([`crate::wire::DeltaDecoder::partition`]), each worker decodes its shard's
+    /// frames in original order and pre-scans the deliverability gap of
+    /// each success against the batch-entry clock, and the partitions are
+    /// absorbed back; without one, everything decodes inline.
+    fn decode_batch(&mut self, frames: &[(u64, Bytes)]) -> Vec<DecodedFrame> {
+        let workers = self.pool.as_ref().map_or(1, BatchPool::workers).max(1);
+        if workers == 1 || frames.len() < 2 {
+            return frames
+                .iter()
+                .map(|(_, frame)| (self.store.codec_mut().decode(frame.clone()), None))
+                .collect();
+        }
+        // Route each frame by its wire-level sender. A frame whose
+        // header cannot even be peeked is recorded with that parse error
+        // directly — the full decode fails at the same byte.
+        let mut routes: Vec<Vec<(usize, Bytes)>> = vec![Vec::new(); workers];
+        let mut results: Vec<Option<DecodedFrame>> = vec![None; frames.len()];
+        for (index, (_, frame)) in frames.iter().enumerate() {
+            match peek_sender(frame) {
+                Ok(sender) => routes[sender % workers].push((index, frame.clone())),
+                Err(error) => results[index] = Some((Err(error), None)),
+            }
+        }
+        let parts = self.store.codec_mut().partition(workers);
+        let clock = Arc::new(self.process.clock().clone());
+        let jobs: Vec<_> = routes
+            .into_iter()
+            .zip(parts)
+            .map(|(route, mut part)| {
+                let clock = Arc::clone(&clock);
+                move || {
+                    let decoded: Vec<(usize, DecodedFrame)> = route
+                        .into_iter()
+                        .map(|(index, frame)| {
+                            let result = part.decode(frame);
+                            let hint = result.as_ref().ok().map(|message| {
+                                clock.deliverability_gap(message.timestamp(), message.keys())
+                            });
+                            (index, (result, hint))
+                        })
+                        .collect();
+                    (part, decoded)
+                }
+            })
+            .collect();
+        let mut parts_back = Vec::with_capacity(workers);
+        for (part, decoded) in self.pool.as_ref().expect("workers > 1 implies pool").run(jobs) {
+            parts_back.push(part);
+            for (index, result) in decoded {
+                results[index] = Some(result);
+            }
+        }
+        self.store.codec_mut().absorb(parts_back);
+        results.into_iter().map(|slot| slot.expect("every frame routed or errored")).collect()
     }
 }
 
@@ -779,5 +1059,126 @@ mod tests {
         assert_eq!(b.recovery_counters().snapshot_restores, 0, "nothing durable yet");
         assert_eq!(b.stats().delivered, 0);
         assert!(!b.crashed());
+    }
+
+    #[test]
+    fn backwards_clock_is_clamped_not_obeyed() {
+        // Regression: timer arithmetic used `saturating_sub`, so a shell
+        // clock that jumped backwards read as "age zero" and silently
+        // re-armed ticks/snapshots in the past. The clamp pins `now_us`
+        // to the high-water mark instead.
+        let mut a = endpoint(0, &[0, 1]);
+        let outs = a.handle(Input::Tick, 6_000);
+        assert!(outs.iter().any(|o| matches!(o, Output::SnapshotReady { at_us: 6_000 })));
+        assert!(known_of(&outs).is_some(), "idle past stale_after: probe fires");
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::ScheduleTick { at_us } if *at_us == 6_000 + 250)));
+        let (snapshots, probes) =
+            (a.recovery_counters().snapshots_taken, a.recovery_counters().sync_requests);
+
+        // The shell's clock rewinds to zero. Every deadline must behave
+        // as if it were still 6_000.
+        let outs = a.handle(Input::Tick, 0);
+        assert!(
+            outs.iter()
+                .all(|o| matches!(o, Output::ScheduleTick { at_us } if *at_us == 6_000 + 250)),
+            "rewound tick must not reschedule into the past: {outs:?}"
+        );
+        assert_eq!(a.recovery_counters().snapshots_taken, snapshots, "no snapshot re-fire");
+        assert_eq!(a.recovery_counters().sync_requests, probes, "no probe storm");
+    }
+
+    #[test]
+    fn zero_timeouts_still_make_strict_progress() {
+        // All-zero timing is degenerate but must not wedge the tick
+        // chain into firing at the same instant forever.
+        let zero = RecoveryTimingUs {
+            stale_after_us: 0,
+            poll_every_us: 0,
+            store_window_us: 0,
+            snapshot_every_us: 0,
+            sync_timeout_us: 0,
+        };
+        let mut a = Endpoint::<&str>::new(
+            ProcessId::new(0),
+            KeySet::from_entries(space(), &[0, 1]).unwrap(),
+            PcbConfig::default(),
+            Some(zero),
+        );
+        let mut now = 5;
+        for _ in 0..8 {
+            let outs = a.handle(Input::Tick, now);
+            let at = outs
+                .iter()
+                .find_map(|o| match o {
+                    Output::ScheduleTick { at_us } => Some(*at_us),
+                    _ => None,
+                })
+                .expect("tick chain alive");
+            assert!(at > now, "zero poll interval must still move time forward");
+            now = at;
+        }
+        assert!(a.recovery_counters().sync_requests > 1, "zero sync timeout re-arms probes");
+    }
+
+    /// Order-and-content digest of an output stream (ticket-free — debug
+    /// formatting is deterministic for identical state trajectories).
+    fn digest<P: std::fmt::Debug>(outs: &[Output<P>]) -> Vec<String> {
+        outs.iter().map(|o| format!("{o:?}")).collect()
+    }
+
+    #[test]
+    fn handle_batch_is_bit_identical_to_sequential_handles() {
+        let t = timing();
+        // A script with frames (in-order + out-of-order), ticks, sync
+        // traffic, a crash, and a restore — the full input alphabet.
+        let mut sender_a = endpoint(0, &[0, 1]);
+        let mut sender_c = endpoint(2, &[2, 3]);
+        let mut script: Vec<(u64, Input<&'static str>)> = Vec::new();
+        let mut frames_ab: Vec<Message<&'static str>> = Vec::new();
+        for i in 0..20u64 {
+            let at = 10 + i * 40;
+            frames_ab.push(frames(&sender_a.handle(Input::Broadcast("a"), at)).remove(0));
+            frames_ab.push(frames(&sender_c.handle(Input::Broadcast("c"), at)).remove(0));
+        }
+        // Deliver them shuffled within pairs (exercises parking).
+        for (i, pair) in frames_ab.chunks(2).enumerate() {
+            let at = 20 + i as u64 * 40;
+            for m in pair.iter().rev() {
+                script.push((at, Input::FrameReceived(m.clone())));
+            }
+        }
+        script.push((t.snapshot_every_us + 1, Input::Tick));
+        script.push((t.snapshot_every_us + 2, Input::Crash));
+        script.push((t.snapshot_every_us + 3, Input::Tick));
+        script.push((t.snapshot_every_us + 4, Input::Restore));
+        // Post-restore frames: hints for these must have been dropped.
+        for (i, pair) in frames_ab.chunks(2).enumerate().take(4) {
+            let at = t.snapshot_every_us + 10 + i as u64;
+            for m in pair {
+                script.push((at, Input::FrameReceived(m.clone())));
+            }
+        }
+
+        let mut seq = endpoint(1, &[1, 2]);
+        let mut seq_out = Vec::new();
+        for (at, input) in &script {
+            seq_out.extend(seq.handle(input.clone(), *at));
+        }
+
+        for threads in [1usize, 2, 4] {
+            let mut batched = endpoint(1, &[1, 2]);
+            batched.set_parallel(threads);
+            assert_eq!(batched.threads(), threads, "prob discipline opts into parallelism");
+            // Split the script into uneven batch sizes for good measure.
+            let mut batch_out = Vec::new();
+            for chunk in script.chunks(7) {
+                batch_out.extend(batched.handle_batch(chunk.to_vec()));
+            }
+            assert_eq!(digest(&batch_out), digest(&seq_out), "threads={threads}");
+            assert_eq!(batched.status().stats, seq.status().stats, "threads={threads}");
+            assert_eq!(batched.recovery_counters(), seq.recovery_counters(), "threads={threads}");
+        }
     }
 }

@@ -41,6 +41,7 @@ pub mod discipline;
 pub mod endpoint;
 pub mod membership;
 pub mod message;
+pub mod par;
 pub mod pending;
 pub mod process;
 pub mod recovery;
@@ -56,8 +57,11 @@ pub use discipline::{
 pub use endpoint::{Endpoint, EndpointStatus, Input, Output, RecoveryTimingUs};
 pub use membership::{Group, MemberState};
 pub use message::{Message, MessageId};
+pub use par::BatchPool;
 pub use pending::{InsertVerdict, WakeupIndex, WakeupStats};
 pub use process::{Delivery, PcbConfig, PcbProcess, ProcessStats};
 pub use recovery::{Counters, MessageStore, SyncRequest, SyncResponse};
 pub use snapshot::{decode_snapshot, encode_snapshot, ProcessSnapshot};
-pub use wire::{control_size, decode, encode, encode_full, DeltaDecoder, DeltaEncoder, WireError};
+pub use wire::{
+    control_size, decode, encode, encode_full, peek_sender, DeltaDecoder, DeltaEncoder, WireError,
+};

@@ -1,0 +1,143 @@
+//! Persistent worker pool for batched endpoint phases.
+//!
+//! [`Endpoint::handle_batch`](crate::Endpoint::handle_batch) runs its
+//! read-only phases — wire decode sharded by sender, deliverability
+//! pre-scans against a clock snapshot — on worker threads, then applies
+//! the results on the calling thread in input order. Those phases fire
+//! once per *batch*, so spawning threads per call (as
+//! `std::thread::scope` would) costs more than the work itself; this
+//! pool keeps its workers parked on channels between batches instead.
+//!
+//! Determinism: jobs are distributed round-robin by index and results
+//! are re-assembled **in job-index order**, so the output is
+//! byte-identical at any worker count — including zero workers, where
+//! everything runs inline on the caller. Jobs must therefore be pure
+//! functions of their inputs, never of scheduling.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::thread;
+
+/// A job shipped to a worker: runs once, sends its result back through
+/// a channel it captured.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of parked worker threads.
+pub struct BatchPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl BatchPool {
+    /// Spawns `workers` parked threads. Zero workers is a valid
+    /// degenerate pool: [`BatchPool::run`] then executes inline.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            let handle = thread::Builder::new()
+                .name(format!("pcb-batch-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn batch worker");
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs every job and returns the results **in job order**,
+    /// regardless of which worker ran what. With no workers (or a single
+    /// job) everything runs inline on the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job panicked on a worker (the result never arrives).
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if self.senders.is_empty() || jobs.len() <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        let expected = jobs.len();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, T)>();
+        for (index, job) in jobs.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            let wrapped: Job = Box::new(move || {
+                let _ = tx.send((index, job()));
+            });
+            self.senders[index % self.senders.len()].send(wrapped).expect("batch worker alive");
+        }
+        drop(result_tx);
+        let mut results: Vec<(usize, T)> = result_rx.iter().collect();
+        assert_eq!(results.len(), expected, "a batch job panicked on a worker");
+        results.sort_unstable_by_key(|(index, _)| *index);
+        results.into_iter().map(|(_, result)| result).collect()
+    }
+}
+
+impl fmt::Debug for BatchPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchPool").field("workers", &self.handles.len()).finish()
+    }
+}
+
+impl Drop for BatchPool {
+    fn drop(&mut self) {
+        // Disconnect the job channels so the workers' `recv` loops end,
+        // then join to avoid leaking threads past the endpoint.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_job_order() {
+        let pool = BatchPool::new(3);
+        let jobs: Vec<_> = (0..64u64).map(|i| move || i * i).collect();
+        assert_eq!(pool.run(jobs), (0..64u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_runs_inline() {
+        let pool = BatchPool::new(0);
+        assert_eq!(pool.workers(), 0);
+        assert_eq!(pool.run(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = BatchPool::new(2);
+        for round in 0..10usize {
+            let jobs: Vec<_> = (0..8usize).map(|i| move || round * 100 + i).collect();
+            let out = pool.run(jobs);
+            assert_eq!(out, (0..8usize).map(|i| round * 100 + i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let pool = BatchPool::new(2);
+        let out: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+}

@@ -121,7 +121,7 @@ impl<P> PcbProcess<P> {
         let clock = ProbClock::new(keys.space());
         let recent = config.recent_window.map(RecentListDetector::new);
         let pending = WakeupIndex::new(clock.len());
-        let tracer = Tracer::ring(id.index() as u32, config.trace_capacity);
+        let tracer = Tracer::ring(id.index_u32(), config.trace_capacity);
         Self {
             id,
             keys: Arc::new(keys),
@@ -230,7 +230,7 @@ impl<P> PcbProcess<P> {
         }
         let (sender, seq, keys) = (self.id, self.seq, &self.keys);
         self.tracer.emit(|| TraceEvent::Sent {
-            sender: sender.index() as u32,
+            sender: sender.index_u32(),
             seq,
             keys: keys.entries().to_vec(),
             key_vals: keys.iter().map(|entry| ts[entry]).collect(),
@@ -244,14 +244,31 @@ impl<P> PcbProcess<P> {
     /// order — the new message may unblock older pending ones and vice
     /// versa, so zero, one, or many deliveries can result.
     pub fn on_receive(&mut self, message: Message<P>, now: u64) -> Vec<Delivery<P>> {
+        self.on_receive_hinted(message, now, None)
+    }
+
+    /// [`PcbProcess::on_receive`] with an optional pre-computed
+    /// deliverability [`Gap`] from [`ProbClock::first_gap`] against an
+    /// **earlier snapshot** of this process's clock. The guard is monotone
+    /// in the delivered set, so a stale hint can only under-promise: the
+    /// verdict and delivery order are exactly those of the unhinted path,
+    /// the hint merely skips re-scanning entries the snapshot already
+    /// certified. Callers batching many arrivals compute hints in parallel
+    /// against one snapshot and feed them through here serially.
+    pub fn on_receive_hinted(
+        &mut self,
+        message: Message<P>,
+        now: u64,
+        hint: Option<pcb_clock::Gap>,
+    ) -> Vec<Delivery<P>> {
         self.tracer.advance(now);
         if self.config.dedup && !self.seen.insert(message.id()) {
             self.stats.duplicates += 1;
             return Vec::new();
         }
-        let (sender, seq) = (message.id().sender().index() as u32, message.id().seq());
+        let (sender, seq) = (message.id().sender().index_u32(), message.id().seq());
         self.tracer.emit(|| TraceEvent::Received { sender, seq });
-        let verdict = self.pending.insert_tracked(now, message, &self.clock);
+        let verdict = self.pending.insert_hinted(now, message, &self.clock, hint);
         if let InsertVerdict::Parked { entry, required } = verdict {
             self.tracer.emit(|| TraceEvent::Parked {
                 sender,
@@ -268,6 +285,14 @@ impl<P> PcbProcess<P> {
     /// state transfer or manual clock adjustment).
     pub fn poll(&mut self, now: u64) -> Vec<Delivery<P>> {
         self.drain(now)
+    }
+
+    /// Re-partitions the wake-up index across `shards` per-entry wake
+    /// channels (see [`WakeupIndex::reshard`]). Delivery order is
+    /// bit-identical at any shard count; sharding only changes which
+    /// channel a parked waiter sits in, never when it wakes.
+    pub fn reshard(&mut self, shards: usize) {
+        self.pending.reshard(shards, &self.clock);
     }
 
     /// Installs a vector snapshot from an existing member (state transfer
@@ -327,7 +352,7 @@ impl<P> PcbProcess<P> {
         let recent = snapshot.config.recent_window.map(RecentListDetector::new);
         let store =
             crate::recovery::MessageStore::from_entries(snapshot.store_window, snapshot.store);
-        let tracer = Tracer::ring(snapshot.id.index() as u32, snapshot.config.trace_capacity);
+        let tracer = Tracer::ring(snapshot.id.index_u32(), snapshot.config.trace_capacity);
         let process = Self {
             id: snapshot.id,
             keys: Arc::new(snapshot.keys),
@@ -381,7 +406,7 @@ impl<P> PcbProcess<P> {
                 delivery.message.keys().iter(),
                 &self.clock,
                 |woken, entry| {
-                    let (sender, seq) = (woken.id().sender().index() as u32, woken.id().seq());
+                    let (sender, seq) = (woken.id().sender().index_u32(), woken.id().seq());
                     tracer.emit(|| TraceEvent::Woken { sender, seq, entry: entry as u32 });
                 },
             );
@@ -404,7 +429,7 @@ impl<P> PcbProcess<P> {
         self.stats.delivered += 1;
         self.stats.instant_alerts += u64::from(instant);
         self.stats.recent_alerts += u64::from(recent);
-        let (sender, seq) = (message.id().sender().index() as u32, message.id().seq());
+        let (sender, seq) = (message.id().sender().index_u32(), message.id().seq());
         self.tracer.emit(|| TraceEvent::Delivered {
             sender,
             seq,

@@ -87,6 +87,24 @@ impl<P> MessageStore<P> {
         &self.codec
     }
 
+    /// Exclusive access to the codec, for batched decode: the endpoint
+    /// partitions the reconstruction stamps across sender shards
+    /// ([`DeltaDecoder::partition`]) and absorbs them back after the
+    /// parallel phase.
+    pub fn codec_mut(&mut self) -> &mut DeltaDecoder {
+        &mut self.codec
+    }
+
+    /// Drops every per-sender reconstruction stamp
+    /// ([`DeltaDecoder::clear`]). Must be called when the store crosses a
+    /// crash/restore boundary: a delta arriving after restore must fail
+    /// with `MissingDeltaBase` (forcing an anti-entropy full-frame
+    /// re-fetch) rather than silently reconstruct against a pre-crash
+    /// base that no longer matches the sender's chain.
+    pub fn reset_codec(&mut self) {
+        self.codec.clear();
+    }
+
     /// Records a message (own broadcasts *and* deliveries both belong
     /// here — a peer may be missing either). Idempotent by id: re-inserting
     /// a retained message (e.g. a re-fetched duplicate) is a no-op.

@@ -95,7 +95,9 @@ fn replay(
     mut frame_for: impl FnMut(usize) -> Bytes,
 ) -> Vec<MessageId> {
     let keys = KeySet::from_entries(space, &(0..space.k()).collect::<Vec<_>>()).unwrap();
-    let mut process: PcbProcess<Bytes> = PcbProcess::new(ProcessId::new(usize::MAX), keys);
+    // The highest id that still fits the u32 wire/trace encoding — the
+    // checked conversion refuses anything wider (no silent truncation).
+    let mut process: PcbProcess<Bytes> = PcbProcess::new(ProcessId::new(u32::MAX as usize), keys);
     let mut decoder = DeltaDecoder::new();
     let mut order = Vec::new();
     for (t, &i) in arrival.iter().enumerate() {

@@ -110,7 +110,7 @@ fn replay_indexed(space: KeySpace, arrivals: &[Message<Bytes>]) -> (Vec<MessageI
 /// A full endpoint (dedup and detectors at their defaults).
 fn replay_process(space: KeySpace, arrivals: &[Message<Bytes>]) -> Vec<MessageId> {
     let keys = KeySet::from_entries(space, &(0..space.k()).collect::<Vec<_>>()).unwrap();
-    let mut process: PcbProcess<Bytes> = PcbProcess::new(ProcessId::new(usize::MAX), keys);
+    let mut process: PcbProcess<Bytes> = PcbProcess::new(ProcessId::new(u32::MAX as usize), keys);
     let mut order = Vec::new();
     for (t, m) in arrivals.iter().enumerate() {
         for d in process.on_receive(m.clone(), t as u64) {

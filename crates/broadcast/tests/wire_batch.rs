@@ -1,0 +1,215 @@
+//! Differential tests for the batched wire path.
+//!
+//! * [`Endpoint::handle_wire_batch`] must be bit-identical to calling
+//!   [`Endpoint::handle_wire`] once per frame, at any thread count —
+//!   same outputs, same decode errors, same counters.
+//! * A crash in the middle of a delta stream must not let pre-crash
+//!   reconstruction stamps decode post-restore deltas: the restored
+//!   endpoint surfaces `MissingDeltaBase`, re-primes via a full frame,
+//!   and converges to the exact delivery sequence of a receiver that
+//!   never crashed.
+
+use bytes::Bytes;
+use pcb_broadcast::endpoint::{Endpoint, Input, Output, RecoveryTimingUs};
+use pcb_broadcast::{wire, DeltaEncoder, MessageId, PcbConfig, PcbProcess, WireError};
+use pcb_clock::{KeySet, KeySpace, ProcessId};
+
+fn space() -> KeySpace {
+    KeySpace::new(8, 2).unwrap()
+}
+
+fn timing() -> RecoveryTimingUs {
+    RecoveryTimingUs {
+        stale_after_us: 1_000,
+        poll_every_us: 250,
+        store_window_us: 1_000_000,
+        snapshot_every_us: 5_000,
+        sync_timeout_us: 4_000,
+    }
+}
+
+fn receiver(id: usize, entries: &[usize]) -> Endpoint<Bytes> {
+    Endpoint::new(
+        ProcessId::new(id),
+        KeySet::from_entries(space(), entries).unwrap(),
+        PcbConfig::default(),
+        Some(timing()),
+    )
+}
+
+/// `(id, instant_alert, recent_alert)` of every delivery in `outs`.
+fn deliveries(outs: &[Output<Bytes>]) -> Vec<(MessageId, bool, bool)> {
+    outs.iter()
+        .filter_map(|o| match o {
+            Output::Deliver(d) => Some((d.message.id(), d.instant_alert, d.recent_alert)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Full order-and-content digest of an output stream.
+fn digest(outs: &[Output<Bytes>]) -> Vec<String> {
+    outs.iter().map(|o| format!("{o:?}")).collect()
+}
+
+/// Two causally chained senders (each `b_k` depends on `a_k`), frames
+/// delta-encoded per sender, arrivals pair-reversed so every `b_k`
+/// parks until `a_k` lands. Returns `(now_us, frame)` pairs.
+fn chained_wire_trace(rounds: usize, full_every: u64) -> Vec<(u64, Bytes)> {
+    let mut a = PcbProcess::<Bytes>::new(
+        ProcessId::new(0),
+        KeySet::from_entries(space(), &[0, 1]).unwrap(),
+    );
+    let mut b = PcbProcess::<Bytes>::new(
+        ProcessId::new(1),
+        KeySet::from_entries(space(), &[1, 2]).unwrap(),
+    );
+    let mut enc_a = DeltaEncoder::new(full_every);
+    let mut enc_b = DeltaEncoder::new(full_every);
+    let mut frames = Vec::new();
+    for round in 0..rounds {
+        let at = 10 + round as u64 * 20;
+        let m_a = a.broadcast(Bytes::from(format!("a{round}").into_bytes()));
+        assert_eq!(b.on_receive(m_a.clone(), at).len(), 1, "b observes a");
+        let m_b = b.broadcast(Bytes::from(format!("b{round}").into_bytes()));
+        // b's frame first: it must park on a's pending entry.
+        frames.push((at, enc_b.encode(&m_b)));
+        frames.push((at + 1, enc_a.encode(&m_a)));
+    }
+    frames
+}
+
+#[test]
+fn wire_batch_is_bit_identical_to_sequential_wire() {
+    let frames = chained_wire_trace(40, 4);
+
+    let mut seq = receiver(2, &[3, 4]);
+    let mut seq_out = Vec::new();
+    let mut seq_errors: Vec<(usize, WireError)> = Vec::new();
+    for (index, (at, frame)) in frames.iter().enumerate() {
+        match seq.handle_wire(frame.clone(), *at) {
+            Ok(outs) => seq_out.extend(outs),
+            Err(e) => seq_errors.push((index, e)),
+        }
+    }
+    assert!(seq_errors.is_empty(), "in-order per-sender chains all decode");
+    assert!(deliveries(&seq_out).len() == 80, "everything delivers");
+
+    for threads in [1usize, 2, 4] {
+        let mut batched = receiver(2, &[3, 4]);
+        batched.set_parallel(threads);
+        let mut batch_out = Vec::new();
+        let mut batch_errors = Vec::new();
+        let mut offset = 0;
+        for chunk in frames.chunks(13) {
+            let (outs, errors) = batched.handle_wire_batch(chunk);
+            batch_out.extend(outs);
+            batch_errors.extend(errors.into_iter().map(|(i, e)| (offset + i, e)));
+            offset += chunk.len();
+        }
+        assert_eq!(batch_errors, seq_errors, "threads={threads}");
+        assert_eq!(digest(&batch_out), digest(&seq_out), "threads={threads}");
+        assert_eq!(batched.status().stats, seq.status().stats, "threads={threads}");
+        assert_eq!(batched.recovery_counters(), seq.recovery_counters(), "threads={threads}");
+    }
+}
+
+#[test]
+fn out_of_order_delta_frames_error_identically_in_batch() {
+    // Swap each (full-ish, delta) pair so deltas outrun their bases:
+    // both paths must surface the same MissingDeltaBase errors at the
+    // same batch indices and deliver the same survivors.
+    let mut frames = chained_wire_trace(12, 100);
+    for pair in frames.chunks_mut(4) {
+        pair.reverse();
+    }
+    let mut seq = receiver(2, &[3, 4]);
+    let mut seq_out = Vec::new();
+    let mut seq_errors = Vec::new();
+    for (index, (at, frame)) in frames.iter().enumerate() {
+        match seq.handle_wire(frame.clone(), *at) {
+            Ok(outs) => seq_out.extend(outs),
+            Err(e) => seq_errors.push((index, e)),
+        }
+    }
+    assert!(!seq_errors.is_empty(), "the shuffle must actually break some chains");
+
+    let mut batched = receiver(2, &[3, 4]);
+    batched.set_parallel(4);
+    let (batch_out, batch_errors) = batched.handle_wire_batch(&frames);
+    assert_eq!(batch_errors, seq_errors);
+    assert_eq!(digest(&batch_out), digest(&seq_out));
+}
+
+#[test]
+fn crash_mid_delta_stream_restores_bit_identically() {
+    // One sender, eleven messages, delta-encoded with full frames only
+    // at the cadence boundary — the stream crossing the crash is deltas.
+    let mut sender = PcbProcess::<Bytes>::new(
+        ProcessId::new(0),
+        KeySet::from_entries(space(), &[0, 1]).unwrap(),
+    );
+    let mut enc = DeltaEncoder::new(100); // frame 0 full, the rest deltas
+    let pool: Vec<_> =
+        (0..11).map(|i| sender.broadcast(Bytes::from(format!("m{i}").into_bytes()))).collect();
+    let frames: Vec<Bytes> = pool.iter().map(|m| enc.encode(m)).collect();
+
+    // Reference receiver: never crashes, decodes the whole chain.
+    let mut reference = receiver(1, &[2, 3]);
+    let mut reference_deliveries = Vec::new();
+    for (i, frame) in frames.iter().enumerate() {
+        let outs = reference.handle_wire(frame.clone(), 10 + i as u64 * 10).unwrap();
+        reference_deliveries.extend(deliveries(&outs));
+    }
+    assert_eq!(reference_deliveries.len(), 11);
+
+    // Crashing receiver: delivers the first six, snapshots, crashes.
+    let t = timing();
+    let mut rec = receiver(1, &[2, 3]);
+    let mut rec_deliveries = Vec::new();
+    for (i, frame) in frames.iter().take(6).enumerate() {
+        let outs = rec.handle_wire(frame.clone(), 10 + i as u64 * 10).unwrap();
+        rec_deliveries.extend(deliveries(&outs));
+    }
+    let outs = rec.handle(Input::Tick, t.snapshot_every_us);
+    assert!(outs.iter().any(|o| matches!(o, Output::SnapshotReady { .. })));
+    let _ = rec.handle(Input::Crash, t.snapshot_every_us + 1);
+
+    // Frames 6..9 arrive while crashed: dropped before decoding, so the
+    // codec is not even consulted.
+    let tracked = rec.store().codec().tracked_senders();
+    for (i, frame) in frames.iter().enumerate().take(10).skip(6) {
+        let outs = rec.handle_wire(frame.clone(), t.snapshot_every_us + 2 + i as u64).unwrap();
+        assert!(outs.is_empty(), "crashed endpoint is deaf");
+    }
+    assert_eq!(rec.store().codec().tracked_senders(), tracked, "codec untouched while deaf");
+
+    let _ = rec.handle(Input::Restore, t.snapshot_every_us + 100);
+
+    // The pre-crash reconstruction stamp (from frame 5) is gone: the
+    // next delta must refuse to decode rather than silently reconstruct
+    // against a base this incarnation never saw.
+    let err = rec.handle_wire(frames[10].clone(), t.snapshot_every_us + 200).unwrap_err();
+    assert!(
+        matches!(err, WireError::MissingDeltaBase { .. }),
+        "stale delta base must be refused after restore, got {err:?}"
+    );
+
+    // Anti-entropy: re-fetch the gap (6..=9) as typed messages and the
+    // refused frame as a standalone full frame.
+    let refetch: Vec<_> = pool[6..10].to_vec();
+    let outs = rec.handle(Input::SyncResponse(refetch), t.snapshot_every_us + 300);
+    rec_deliveries.extend(deliveries(&outs));
+    let outs = rec.handle_wire(wire::encode_full(&pool[10]), t.snapshot_every_us + 400).unwrap();
+    rec_deliveries.extend(deliveries(&outs));
+
+    // The full frame re-primed the chain: a subsequent delta decodes.
+    let m11 = sender.broadcast(Bytes::from_static(b"m11"));
+    let outs = rec.handle_wire(enc.encode(&m11), t.snapshot_every_us + 500).unwrap();
+    assert_eq!(deliveries(&outs).len(), 1, "delta chain re-primed by the full frame");
+
+    assert_eq!(
+        rec_deliveries, reference_deliveries,
+        "crash + restore + re-fetch converges to the no-crash delivery sequence"
+    );
+}

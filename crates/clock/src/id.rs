@@ -34,6 +34,24 @@ impl ProcessId {
     pub const fn index(self) -> usize {
         self.0
     }
+
+    /// The dense index narrowed to `u32`, for wire frames and trace
+    /// records that store sender indices compactly.
+    ///
+    /// Every narrowing of a process index must route through here: a
+    /// bare `as u32` silently truncates once deployments reach
+    /// `R ≥ 2³²` processes, aliasing distinct senders in traces and
+    /// frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index does not fit in `u32`, instead of silently
+    /// truncating.
+    #[must_use]
+    pub fn index_u32(self) -> u32 {
+        u32::try_from(self.0)
+            .unwrap_or_else(|_| panic!("process index {} does not fit in u32", self.0))
+    }
 }
 
 impl fmt::Display for ProcessId {
@@ -70,5 +88,18 @@ mod tests {
     fn ordering_follows_index() {
         assert!(ProcessId::new(1) < ProcessId::new(2));
         assert_eq!(ProcessId::default(), ProcessId::new(0));
+    }
+
+    #[test]
+    fn index_u32_is_exact_in_range() {
+        assert_eq!(ProcessId::new(0).index_u32(), 0);
+        assert_eq!(ProcessId::new(u32::MAX as usize).index_u32(), u32::MAX);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    #[should_panic(expected = "does not fit in u32")]
+    fn index_u32_refuses_to_truncate() {
+        let _ = ProcessId::new(u32::MAX as usize + 1).index_u32();
     }
 }

@@ -50,7 +50,7 @@ pub use assignment::{entry_load, AssignmentError, AssignmentPolicy, KeyAssigner}
 pub use combinatorics::{binomial, rank, unrank, BinomialTable, CombinatoricsError};
 pub use compare::{judge, JudgmentQuality};
 pub use id::ProcessId;
-pub use keys::{KeyError, KeySet, KeySpace};
+pub use keys::{KeyError, KeySet, KeySpace, ShardMap};
 pub use lamport::LamportClock;
 pub use prob::{Gap, ProbClock};
 pub use timestamp::Timestamp;

@@ -250,7 +250,7 @@ impl Driver<'_> {
             }
             Output::SyncReply { to, messages } => {
                 let at = now + self.sync_leg_us();
-                self.push(at, Kind::SyncResp { p: to.index() as u32, from: p, messages });
+                self.push(at, Kind::SyncResp { p: to.index_u32(), from: p, messages });
             }
             Output::ScheduleTick { at_us } => {
                 if at_us <= self.horizon_us {

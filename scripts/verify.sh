@@ -62,14 +62,22 @@ if [[ "${1:-}" == "--trace" ]]; then
     run cargo test -p pcb-telemetry --no-default-features -q
 fi
 
-# Optional perf stage: measures the hot paths into BENCH_pr4.json and
+# Optional perf stage: measures the hot paths into BENCH_pr6.json and
 # enforces the regression thresholds — delta frames ≤ 0.35× full-vector
 # bytes at (R=100, K=4) steady state; the 8-thread figure-3 sweep ≥ 4×
-# the 1-thread wall-clock (enforced only on ≥ 8 cores); the pending
-# wake-up engine still at ≤ 1.05 wakeups/delivery with unit fan-out on
-# its reversed-FIFO worst case (PR 1's numbers).
+# the 1-thread wall-clock and the 8-thread batched wire ingest ≥ 4× the
+# sequential loop (both enforced only on ≥ 8 cores — smaller machines
+# print an explicit `SKIPPED (n cores)` marker instead of silently
+# passing); the pending wake-up engine still at ≤ 1.05 wakeups/delivery
+# with unit fan-out on its reversed-FIFO worst case (PR 1's numbers).
+# The `--threads`-sweep and batch determinism smokes inside the bench
+# (byte-identical output at every thread count) run at any core count.
 if [[ "${1:-}" == "--perf" ]]; then
-    run cargo run --release -p pcb-bench --bin bench_report -- --check
+    perf_log="$(mktemp)"
+    run cargo run --release -p pcb-bench --bin bench_report -- --check | tee "$perf_log"
+    echo "==> perf gate summary"
+    grep -E "SKIPPED|smoke: OK|perf check: OK" "$perf_log"
+    rm -f "$perf_log"
 fi
 
 # Optional equivalence stage: the differential harness — seeded chaos
