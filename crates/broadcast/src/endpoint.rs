@@ -81,6 +81,12 @@ use crate::wire::{peek_sender, WireError};
 /// Store retention when no recovery timing is configured (5 s).
 const DEFAULT_STORE_WINDOW_US: u64 = 5_000_000;
 
+/// Consecutive unanswered sync probes before the endpoint reports
+/// [`EndpointStatus::peer_unreachable`]. Probing continues — an
+/// unreachable verdict is a health signal for operators (and the daemon
+/// `status` RPC), not a reason to stop trying to converge.
+pub const UNREACHABLE_AFTER: u32 = 5;
+
 /// Recovery/anti-entropy timing, **all fields in microseconds** of the
 /// shell's monotone clock. `None` at [`Endpoint::new`] disables the
 /// whole §4.2 driver (no probes, no snapshots, no tick chain).
@@ -206,6 +212,13 @@ pub struct EndpointStatus {
     pub backoff_resets: u64,
     /// Whether the endpoint is currently crashed.
     pub crashed: bool,
+    /// Consecutive sync probes that timed out unanswered (reset by any
+    /// sync response).
+    pub sync_timeouts: u32,
+    /// `sync_timeouts >= UNREACHABLE_AFTER`: every recent anti-entropy
+    /// attempt died on the wire — peers are crashed, partitioned away,
+    /// or the transport is eating our probes.
+    pub peer_unreachable: bool,
     /// Wake-up index work counters.
     pub wakeup: WakeupStats,
 }
@@ -229,6 +242,9 @@ pub struct Endpoint<P> {
     next_idle_sync_us: u64,
     idle_backoff_us: u64,
     crashed: bool,
+    /// Consecutive sync probes whose reply never came (see
+    /// [`UNREACHABLE_AFTER`]).
+    sync_timeouts: u32,
     stable: Option<ProcessSnapshot<P>>,
     durable_seq: u64,
     next_snapshot_us: u64,
@@ -275,6 +291,7 @@ impl<P: Clone> Endpoint<P> {
             next_idle_sync_us: 0,
             idle_backoff_us,
             crashed: false,
+            sync_timeouts: 0,
             stable: None,
             durable_seq: 0,
             next_snapshot_us,
@@ -283,6 +300,30 @@ impl<P: Clone> Endpoint<P> {
             threads: 1,
             pool: None,
         }
+    }
+
+    /// Rebuilds an endpoint from externally persisted crash-durable
+    /// state: the last snapshot a shell wrote out (on
+    /// [`Output::SnapshotReady`]) and the send-WAL high-water mark it
+    /// persisted before each broadcast took effect. The endpoint starts
+    /// **crashed** — exactly the state a `kill -9`'d process restarts
+    /// into — and recovers when the shell feeds [`Input::Restore`],
+    /// taking the same restore path an in-process crash does: snapshot
+    /// restore (or genesis), WAL replay, then anti-entropy catch-up.
+    #[must_use]
+    pub fn resume(
+        id: ProcessId,
+        keys: KeySet,
+        config: PcbConfig,
+        timing: Option<RecoveryTimingUs>,
+        stable: Option<ProcessSnapshot<P>>,
+        durable_seq: u64,
+    ) -> Self {
+        let mut ep = Self::new(id, keys, config, timing);
+        ep.stable = stable;
+        ep.durable_seq = durable_seq;
+        ep.crashed = true;
+        ep
     }
 
     /// Feeds one stimulus into the state machine at microsecond `now_us`
@@ -426,6 +467,21 @@ impl<P: Clone> Endpoint<P> {
         self.counters
     }
 
+    /// Send-WAL high-water mark: the highest sequence number made
+    /// durable. Persistent shells write this out (before routing the
+    /// frame) so [`Endpoint::resume`] can replay it after `kill -9`.
+    #[must_use]
+    pub fn durable_seq(&self) -> u64 {
+        self.durable_seq
+    }
+
+    /// Whether [`UNREACHABLE_AFTER`] consecutive sync probes have died
+    /// unanswered — the endpoint's peers look unreachable from here.
+    #[must_use]
+    pub fn peer_unreachable(&self) -> bool {
+        self.sync_timeouts >= UNREACHABLE_AFTER
+    }
+
     /// Deliveries that arrived via anti-entropy re-fetch.
     #[must_use]
     pub fn recovered_deliveries(&self) -> u64 {
@@ -457,6 +513,8 @@ impl<P: Clone> Endpoint<P> {
             recovered: self.recovered,
             backoff_resets: self.backoff_resets,
             crashed: self.crashed,
+            sync_timeouts: self.sync_timeouts,
+            peer_unreachable: self.peer_unreachable(),
             wakeup: self.process.wakeup_stats(),
         }
     }
@@ -497,6 +555,23 @@ impl<P: Clone> Endpoint<P> {
         any
     }
 
+    /// Deterministic jitter in `[0, span/4)`, keyed by this endpoint's
+    /// id and an evolving `nonce` (the probe counter). Identically
+    /// configured endpoints that quiesce at the same instant — a healed
+    /// partition is exactly that — must not re-arm their probes onto the
+    /// same schedule, or every backoff round arrives as a synchronized
+    /// request storm. Pure state, no wall clock or RNG: the simulator,
+    /// loopback replay, and real daemons all compute the same offsets.
+    fn jitter_us(&self, span_us: u64, nonce: u64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in (self.id.index() as u64).to_le_bytes().into_iter().chain(nonce.to_le_bytes()) {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Top bits are the well-mixed ones in FNV; span/4 keeps the
+        // jitter well under one backoff doubling so gaps still grow.
+        span_us / 4 * (h >> 56) / 256
+    }
+
     fn on_sync_response(
         &mut self,
         messages: Vec<Message<P>>,
@@ -504,6 +579,7 @@ impl<P: Clone> Endpoint<P> {
         out: &mut Vec<Output<P>>,
     ) {
         self.sync_in_flight = false;
+        self.sync_timeouts = 0;
         self.counters.refetched += messages.len() as u64;
         self.process.set_now(now_us);
         for message in &messages {
@@ -520,9 +596,13 @@ impl<P: Clone> Endpoint<P> {
             } else {
                 // Nothing new anywhere: quiesce. Double the idle-probe
                 // interval up to a cap so a healed, converged cluster
-                // stops probe-storming but still self-checks.
+                // stops probe-storming but still self-checks. The re-arm
+                // is jittered per endpoint so simultaneous quiescence
+                // (every node healing at once) fans the next round of
+                // probes out over time instead of stampeding.
                 let cap = timing.stale_after_us * 8;
-                self.next_idle_sync_us = now_us + self.idle_backoff_us;
+                let jitter = self.jitter_us(self.idle_backoff_us, self.counters.sync_requests);
+                self.next_idle_sync_us = now_us + self.idle_backoff_us + jitter;
                 self.idle_backoff_us = (self.idle_backoff_us * 2).min(cap.max(1));
             }
         }
@@ -556,10 +636,18 @@ impl<P: Clone> Endpoint<P> {
     fn maybe_request_sync(&mut self, now_us: u64, out: &mut Vec<Output<P>>) {
         let Some(timing) = self.timing else { return };
         if self.sync_in_flight {
-            if now_us.saturating_sub(self.sync_sent_at_us) < timing.sync_timeout_us.max(1) {
+            // The timeout is jittered like the idle re-arm: a partition
+            // that swallowed every group's probes must not release them
+            // all on the same retry beat.
+            let timeout = timing.sync_timeout_us.max(1);
+            let timeout = timeout + self.jitter_us(timeout, self.counters.sync_requests);
+            if now_us.saturating_sub(self.sync_sent_at_us) < timeout {
                 return;
             }
             self.sync_in_flight = false;
+            // A probe died on the wire; count it toward the
+            // peer-unreachable health verdict (reset by any response).
+            self.sync_timeouts = self.sync_timeouts.saturating_add(1);
         }
         let stale = timing.stale_after_us;
         let pending_stale = self.process.oldest_pending_age(now_us).is_some_and(|age| age >= stale);
@@ -627,6 +715,7 @@ impl<P: Clone> Endpoint<P> {
         // the snapshot, so fresh broadcasts do not reuse stamp heights.
         self.process.replay_own_sends(self.durable_seq);
         self.last_activity_us = 0;
+        self.sync_timeouts = 0;
         self.reset_idle_backoff();
         self.maybe_request_sync(now_us, out);
     }
@@ -974,12 +1063,22 @@ mod tests {
             now += t.poll_every_us;
         }
         assert!(probe_gaps.len() >= 3, "several probes fired: {probe_gaps:?}");
-        assert!(
-            probe_gaps.windows(2).all(|w| w[1] >= w[0]),
-            "idle probe gaps never shrink without fresh traffic: {probe_gaps:?}"
-        );
+        // Gaps grow toward the cap; per-probe jitter (< span/4) may
+        // wobble consecutive capped gaps but never more than the span.
         let cap = t.stale_after_us * 8;
-        assert!(probe_gaps.iter().all(|&g| g <= cap + t.poll_every_us), "gaps capped");
+        let jitter_span = cap / 4;
+        assert!(
+            probe_gaps.windows(2).all(|w| w[1] + jitter_span >= w[0]),
+            "idle probe gaps never shrink below jitter wobble: {probe_gaps:?}"
+        );
+        assert!(
+            probe_gaps.last() > probe_gaps.first(),
+            "backoff still grows overall: {probe_gaps:?}"
+        );
+        assert!(
+            probe_gaps.iter().all(|&g| g <= cap + jitter_span + t.poll_every_us),
+            "gaps capped"
+        );
 
         // Fresh frame resets the backoff to the floor.
         let mut a = endpoint(0, &[0, 1]);
@@ -995,13 +1094,104 @@ mod tests {
         let t = timing();
         let outs = b.handle(Input::Tick, t.stale_after_us);
         assert!(known_of(&outs).is_some(), "first probe fires");
-        // In flight: no second probe before the timeout.
+        // In flight: no second probe before the (jittered) timeout.
         let outs = b.handle(Input::Tick, t.stale_after_us + t.sync_timeout_us - 1);
         assert!(known_of(&outs).is_none());
-        // Timed out: probe again.
-        let outs = b.handle(Input::Tick, t.stale_after_us + t.sync_timeout_us);
-        assert!(known_of(&outs).is_some());
+        // Timed out: the probe re-arms within the jitter window
+        // (timeout .. timeout + timeout/4) at poll granularity.
+        let mut now = t.stale_after_us + t.sync_timeout_us;
+        let deadline = t.stale_after_us + t.sync_timeout_us + t.sync_timeout_us / 4;
+        let mut fired = false;
+        while now <= deadline + t.poll_every_us {
+            if known_of(&b.handle(Input::Tick, now)).is_some() {
+                fired = true;
+                break;
+            }
+            now += t.poll_every_us;
+        }
+        assert!(fired, "timed-out probe re-arms inside the jitter window");
         assert_eq!(b.recovery_counters().sync_requests, 2);
+        assert_eq!(b.status().sync_timeouts, 1, "the dead probe was counted");
+    }
+
+    #[test]
+    fn identical_endpoints_desynchronize_their_probe_schedules() {
+        // Regression (probe-storm fix): endpoints with identical timing
+        // and identical stimulus must not share one probe schedule —
+        // after a heal, synchronized quiescence probes arrive as a
+        // request storm. The jitter is pure state, so the schedule is
+        // still deterministic per endpoint id.
+        let t = timing();
+        let schedule = |id: usize| -> Vec<u64> {
+            let mut e = endpoint(id, &[0, 1]);
+            let mut probes = Vec::new();
+            let mut now = t.stale_after_us;
+            for _ in 0..400 {
+                if known_of(&e.handle(Input::Tick, now)).is_some() {
+                    probes.push(now);
+                    let _ = e.handle(Input::SyncResponse(Vec::new()), now + 1);
+                }
+                now += t.poll_every_us;
+            }
+            probes
+        };
+        let schedules: Vec<Vec<u64>> = (0..4).map(schedule).collect();
+        assert!(schedules.iter().all(|s| s.len() >= 3), "every endpoint probes");
+        assert!(
+            schedules.windows(2).any(|w| w[0] != w[1]),
+            "identically configured endpoints must not probe in lockstep: {schedules:?}"
+        );
+        assert_eq!(schedule(2), schedules[2], "per-id schedules are deterministic");
+    }
+
+    #[test]
+    fn unanswered_probes_surface_peer_unreachable() {
+        let mut b = endpoint(1, &[1, 2]);
+        let t = timing();
+        let mut now = t.stale_after_us;
+        // Nobody ever answers: timeouts accumulate into the verdict.
+        while !b.status().peer_unreachable {
+            let _ = b.handle(Input::Tick, now);
+            now += t.poll_every_us;
+            assert!(now < 10_000_000, "unreachable verdict must arrive");
+        }
+        assert!(b.status().sync_timeouts >= UNREACHABLE_AFTER);
+        // One answered probe — even an empty one — clears it.
+        let _ = b.handle(Input::SyncResponse(Vec::new()), now);
+        assert!(!b.status().peer_unreachable);
+        assert_eq!(b.status().sync_timeouts, 0);
+    }
+
+    #[test]
+    fn resume_rebuilds_from_persisted_snapshot_and_wal() {
+        // A shell persists the snapshot and the WAL mark; `resume` must
+        // rebuild the same post-restore state an in-process crash does.
+        let t = timing();
+        let mut a = endpoint(0, &[0, 1]);
+        let _ = a.handle(Input::Broadcast("1"), 10);
+        let _ = a.handle(Input::Tick, t.snapshot_every_us); // cut snapshot at seq 1
+        let _ = a.handle(Input::Broadcast("2"), t.snapshot_every_us + 10);
+        let _ = a.handle(Input::Broadcast("3"), t.snapshot_every_us + 20);
+        let snapshot = a.stable_snapshot().cloned();
+        let wal = a.durable_seq();
+        assert_eq!(wal, 3);
+
+        // "kill -9": a brand-new endpoint from the persisted pieces.
+        let mut r = Endpoint::resume(
+            ProcessId::new(0),
+            KeySet::from_entries(space(), &[0, 1]).unwrap(),
+            PcbConfig::default(),
+            Some(t),
+            snapshot,
+            wal,
+        );
+        assert!(r.crashed(), "resume starts in the crashed state");
+        let outs = r.handle(Input::Restore, t.snapshot_every_us + 100);
+        assert!(!r.crashed());
+        assert_eq!(r.recovery_counters().snapshot_restores, 1);
+        assert!(known_of(&outs).is_some(), "restore probes for what it missed");
+        let m = frames(&r.handle(Input::Broadcast("4"), t.snapshot_every_us + 200)).remove(0);
+        assert_eq!(m.id().seq(), 4, "stamp heights continue past the kill");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod dedup;
 pub mod detector;
 pub mod discipline;
 pub mod endpoint;
+pub mod fragment;
 pub mod membership;
 pub mod message;
 pub mod par;
@@ -55,6 +56,7 @@ pub use discipline::{
     MergeProbDiscipline, ProbDiscipline, VectorDiscipline,
 };
 pub use endpoint::{Endpoint, EndpointStatus, Input, Output, RecoveryTimingUs};
+pub use fragment::{fragment, FragmentError, Reassembler, DEFAULT_MTU, MAX_FRAGMENTS, MIN_MTU};
 pub use membership::{Group, MemberState};
 pub use message::{Message, MessageId};
 pub use par::BatchPool;

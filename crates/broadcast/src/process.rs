@@ -18,7 +18,7 @@ use crate::message::{Message, MessageId};
 use crate::pending::{InsertVerdict, WakeupIndex, WakeupStats};
 
 /// Tuning knobs for a [`PcbProcess`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PcbConfig {
     /// Run Algorithm 4 before every delivery and report its alert.
     pub detect_instant: bool,

@@ -1,0 +1,133 @@
+//! `pcb-daemon`: one causal-broadcast node as a standalone OS process.
+//!
+//! ```text
+//! pcb-daemon --state-dir DIR --listen ADDR --mode live|replay
+//!            [--resume] [--next-step N] [--shim-seed N] [--mtu N]
+//!            [--rpc ADDR] [--metrics ADDR] [--peer IDX=ADDR]...
+//!            [--rto-initial-us N] [--rto-max-us N] [--max-retries N]
+//! ```
+//!
+//! The state directory must contain `spec.bin` (written with
+//! `pcb_runtime::daemon::save_spec`) describing the node's identity,
+//! key set, protocol config, and recovery timing. `--resume` rebuilds
+//! from `snapshot.bin` + `wal.bin` after a crash; without it the node
+//! starts from genesis.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pcb_runtime::daemon::{run, DaemonOptions, Mode};
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("pcb-daemon: {error}");
+    eprintln!(
+        "usage: pcb-daemon --state-dir DIR --listen ADDR --mode live|replay \
+         [--resume] [--next-step N] [--shim-seed N] [--mtu N] [--rpc ADDR] \
+         [--metrics ADDR] [--peer IDX=ADDR]... [--rto-initial-us N] \
+         [--rto-max-us N] [--max-retries N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut state_dir: Option<PathBuf> = None;
+    let mut listen: Option<SocketAddr> = None;
+    let mut mode: Option<Mode> = None;
+    let mut opts_resume = false;
+    let mut next_step = 0u64;
+    let mut shim_seed = 0u64;
+    let mut rpc = None;
+    let mut metrics = None;
+    let mut peers = Vec::new();
+    let mut udp = pcb_runtime::UdpConfig::default();
+
+    macro_rules! next_value {
+        ($flag:expr) => {
+            match args.next() {
+                Some(v) => v,
+                None => return usage(&format!("{} needs a value", $flag)),
+            }
+        };
+    }
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--state-dir" => state_dir = Some(PathBuf::from(next_value!("--state-dir"))),
+            "--listen" => match next_value!("--listen").parse() {
+                Ok(addr) => listen = Some(addr),
+                Err(e) => return usage(&format!("bad --listen address: {e}")),
+            },
+            "--mode" => match next_value!("--mode").as_str() {
+                "live" => mode = Some(Mode::Live),
+                "replay" => mode = Some(Mode::Replay),
+                other => return usage(&format!("bad --mode {other:?}")),
+            },
+            "--resume" => opts_resume = true,
+            "--next-step" => match next_value!("--next-step").parse() {
+                Ok(v) => next_step = v,
+                Err(e) => return usage(&format!("bad --next-step: {e}")),
+            },
+            "--shim-seed" => match next_value!("--shim-seed").parse() {
+                Ok(seed) => shim_seed = seed,
+                Err(e) => return usage(&format!("bad --shim-seed: {e}")),
+            },
+            "--mtu" => match next_value!("--mtu").parse() {
+                Ok(mtu) => udp.mtu = mtu,
+                Err(e) => return usage(&format!("bad --mtu: {e}")),
+            },
+            "--rto-initial-us" => match next_value!("--rto-initial-us").parse() {
+                Ok(v) => udp.rto_initial_us = v,
+                Err(e) => return usage(&format!("bad --rto-initial-us: {e}")),
+            },
+            "--rto-max-us" => match next_value!("--rto-max-us").parse() {
+                Ok(v) => udp.rto_max_us = v,
+                Err(e) => return usage(&format!("bad --rto-max-us: {e}")),
+            },
+            "--max-retries" => match next_value!("--max-retries").parse() {
+                Ok(v) => udp.max_retries = v,
+                Err(e) => return usage(&format!("bad --max-retries: {e}")),
+            },
+            "--rpc" => match next_value!("--rpc").parse() {
+                Ok(addr) => rpc = Some(addr),
+                Err(e) => return usage(&format!("bad --rpc address: {e}")),
+            },
+            "--metrics" => match next_value!("--metrics").parse() {
+                Ok(addr) => metrics = Some(addr),
+                Err(e) => return usage(&format!("bad --metrics address: {e}")),
+            },
+            "--peer" => {
+                let spec = next_value!("--peer");
+                let Some((idx, addr)) = spec.split_once('=') else {
+                    return usage(&format!("bad --peer {spec:?}, want IDX=ADDR"));
+                };
+                match (idx.parse(), addr.parse()) {
+                    (Ok(idx), Ok(addr)) => peers.push((idx, addr)),
+                    _ => return usage(&format!("bad --peer {spec:?}")),
+                }
+            }
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let (Some(state_dir), Some(listen), Some(mode)) = (state_dir, listen, mode) else {
+        return usage("--state-dir, --listen and --mode are required");
+    };
+    let mut opts = DaemonOptions::new(state_dir, listen, mode);
+    opts.resume = opts_resume;
+    opts.next_step = next_step;
+    opts.shim_seed = shim_seed;
+    opts.udp = udp;
+    opts.rpc = rpc;
+    opts.metrics = metrics;
+    opts.peers = peers;
+
+    match run(opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pcb-daemon: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -22,14 +22,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod cluster;
+pub mod daemon;
+pub mod json;
 pub mod loopback;
 pub mod node;
+pub mod shim;
 pub mod transport;
+pub mod udp;
 
+pub use certify::{certify_record, CertifyError, CertifyOptions, CertifyStats};
 pub use cluster::{Cluster, ClusterConfig, ClusterError, MetricsDump};
 pub use loopback::LoopbackCluster;
 pub use node::{NodeHandle, NodeStatus, RecoveryConfig};
+pub use shim::{SocketShim, Verdict};
+pub use udp::{UdpConfig, UdpEvent, UdpStats, UdpTransport};
 // Chaos plans are shared with the simulator: the same `FaultPlan` drives
 // the sim engine's event loop in virtual time and this crate's
 // fault-controller thread in wall-clock time.

@@ -118,6 +118,12 @@ pub struct NodeStatus {
     pub backoff_resets: u64,
     /// Whether the node is currently crashed (fault injection).
     pub crashed: bool,
+    /// Consecutive anti-entropy probes that died unanswered.
+    pub sync_timeouts: u32,
+    /// Health verdict after `UNREACHABLE_AFTER` consecutive dead probes:
+    /// this node cannot reach any peer (all crashed, partitioned away,
+    /// or the transport is eating its probes). Probing continues.
+    pub peer_unreachable: bool,
     /// Work counters of the endpoint's entry-indexed pending set: gap
     /// checks, wake fan-out, pending high-water mark.
     pub wakeup: pcb_broadcast::WakeupStats,
@@ -271,6 +277,8 @@ impl<P: Send + Clone + 'static> NodeLoop<P> {
             recovered: status.recovered,
             backoff_resets: status.backoff_resets,
             crashed: status.crashed,
+            sync_timeouts: status.sync_timeouts,
+            peer_unreachable: status.peer_unreachable,
             wakeup: status.wakeup,
         }
     }

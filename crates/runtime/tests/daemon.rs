@@ -1,0 +1,387 @@
+//! Live-mode daemon integration: a 3-process localhost cluster pushing
+//! 1000 messages through real UDP sockets and the line-JSON RPC plane,
+//! with one node `SIGKILL`ed mid-stream and restarted from its on-disk
+//! snapshot + WAL.
+//!
+//! Asserts the restarted node reports exactly one snapshot restore and a
+//! non-zero anti-entropy refetch count, and that the [`StreamOracle`]
+//! certifies every delivery stream complete (zero lost messages) with
+//! exactly-once delivery per incarnation.
+//!
+//! Skips (with a visible marker) when the environment forbids spawning
+//! subprocesses or binding sockets.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pcb_broadcast::{PcbConfig, RecoveryTimingUs};
+use pcb_clock::{KeySet, KeySpace};
+use pcb_runtime::daemon::save_spec;
+use pcb_runtime::json::{self, Value};
+use pcb_sim::export::NodeSpec;
+use pcb_sim::StreamOracle;
+
+const N: usize = 3;
+/// Messages published per node; 1000 total.
+const PUBLISHES: [u64; N] = [400, 400, 200];
+
+fn daemon_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_pcb-daemon"))
+}
+
+/// Reserves `n` distinct free localhost UDP/TCP port pairs. All sockets
+/// are held until every pair is bound (so the kernel cannot hand the
+/// same port out twice), then released together; the tiny window before
+/// the daemons re-bind is an accepted test-only race.
+fn free_ports(n: usize) -> std::io::Result<Vec<(SocketAddr, SocketAddr)>> {
+    let mut hold = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..n {
+        let udp = UdpSocket::bind("127.0.0.1:0")?;
+        let tcp = TcpListener::bind("127.0.0.1:0")?;
+        addrs.push((udp.local_addr()?, tcp.local_addr()?));
+        hold.push((udp, tcp));
+    }
+    Ok(addrs)
+}
+
+/// One line-JSON RPC exchange on a fresh connection.
+fn rpc(addr: SocketAddr, request: &Value) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match try_rpc(addr, request) {
+            Some(v) => return v,
+            None if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            None => panic!("rpc to {addr} kept failing: {}", request.to_json()),
+        }
+    }
+}
+
+fn try_rpc(addr: SocketAddr, request: &Value) -> Option<Value> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    stream.write_all(format!("{}\n", request.to_json()).as_bytes()).ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    json::parse(line.trim()).ok()
+}
+
+fn status(addr: SocketAddr) -> Value {
+    let v = rpc(addr, &Value::object([("op", Value::from("status"))]));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "status failed: {}", v.to_json());
+    v
+}
+
+fn publish(addr: SocketAddr, payload: u32) {
+    let v = rpc(
+        addr,
+        &Value::object([("op", Value::from("publish")), ("payload", Value::from(payload))]),
+    );
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "publish failed: {}", v.to_json());
+}
+
+/// Opens a subscription, returning the connection positioned past the
+/// op response plus any delivery events read on the way there. The
+/// daemon replays the node's backlog *before* the op response, so the
+/// handshake must collect events until the `ok` line shows up.
+fn subscribe(addr: SocketAddr) -> Subscription {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(sub) = try_subscribe(addr) {
+            return sub;
+        }
+        assert!(Instant::now() < deadline, "subscribe to {addr} kept failing");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+type Subscription = (BufReader<TcpStream>, Vec<(usize, u64)>);
+
+fn try_subscribe(addr: SocketAddr) -> Option<Subscription> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_millis(500))).ok()?;
+    stream
+        .write_all(
+            format!("{}\n", Value::object([("op", Value::from("subscribe"))]).to_json()).as_bytes(),
+        )
+        .ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut events = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        let v = json::parse(line.trim()).ok()?;
+        if let Some(event) = parse_event(&v) {
+            events.push(event);
+        } else if v.get("ok").and_then(Value::as_bool) == Some(true) {
+            return Some((reader, events));
+        } else {
+            return None;
+        }
+    }
+}
+
+fn parse_event(v: &Value) -> Option<(usize, u64)> {
+    (v.get("event").and_then(Value::as_str) == Some("deliver")).then(|| {
+        let sender = v.get("sender").and_then(Value::as_u64).expect("sender") as usize;
+        let seq = v.get("seq").and_then(Value::as_u64).expect("seq");
+        (sender, seq)
+    })
+}
+
+/// Drains `(sender, seq)` delivery events until reads stay quiet for a
+/// full timeout window (or the peer hangs up).
+fn drain_events(reader: &mut BufReader<TcpStream>) -> Vec<(usize, u64)> {
+    let mut events = Vec::new();
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: peer gone
+            Ok(_) => {
+                let v = json::parse(line.trim()).expect("event line parses");
+                let event = parse_event(&v).expect("only deliver events after the handshake");
+                events.push(event);
+            }
+            Err(_) => break, // read timeout: stream quiet
+        }
+    }
+    events
+}
+
+struct DaemonProc {
+    child: Child,
+    state_dir: PathBuf,
+    listen: SocketAddr,
+    rpc: SocketAddr,
+}
+
+impl Drop for DaemonProc {
+    /// A failing assertion must not leak daemon processes: an orphan
+    /// from one test run would keep writing snapshots into the shared
+    /// state path and poison the next run's resume.
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_live(
+    state_dir: &Path,
+    listen: SocketAddr,
+    rpc_addr: SocketAddr,
+    peers: &[(usize, SocketAddr)],
+    resume: bool,
+) -> std::io::Result<Child> {
+    let stderr =
+        std::fs::OpenOptions::new().create(true).append(true).open(state_dir.join("stderr.log"))?;
+    let mut cmd = Command::new(daemon_bin());
+    cmd.arg("--state-dir")
+        .arg(state_dir)
+        .arg("--listen")
+        .arg(listen.to_string())
+        .arg("--mode")
+        .arg("live")
+        .arg("--rpc")
+        .arg(rpc_addr.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::from(stderr));
+    for (idx, addr) in peers {
+        cmd.arg("--peer").arg(format!("{idx}={addr}"));
+    }
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd.spawn()
+}
+
+#[test]
+fn live_cluster_survives_sigkill_and_recovers_from_disk() {
+    if Command::new(daemon_bin()).arg("--help").output().is_err() {
+        eprintln!("SKIPPED: cannot spawn pcb-daemon in this environment");
+        return;
+    }
+    // Unique per run: a stale directory must never be shared with a
+    // daemon that survived an earlier aborted run.
+    let work_dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("daemon-live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work_dir);
+
+    // Exact vector clocks: delivery completeness is deterministic, so
+    // the oracle's final certification is a hard assertion.
+    let space = KeySpace::vector(N).expect("vector space");
+    let timing = RecoveryTimingUs {
+        stale_after_us: 60_000,
+        poll_every_us: 25_000,
+        store_window_us: u64::MAX / 2,
+        snapshot_every_us: 150_000,
+        sync_timeout_us: 150_000,
+    };
+    let pcb_config =
+        PcbConfig { detect_instant: true, recent_window: None, dedup: true, trace_capacity: 0 };
+
+    let Ok(addrs) = free_ports(N) else {
+        eprintln!("SKIPPED: cannot bind localhost sockets in this environment");
+        return;
+    };
+
+    let mut procs: Vec<DaemonProc> = Vec::new();
+    for node in 0..N {
+        let state_dir = work_dir.join(format!("node-{node}"));
+        std::fs::create_dir_all(&state_dir).expect("state dir");
+        let spec = NodeSpec {
+            node: node as u32,
+            n: N as u32,
+            keys: KeySet::from_entries(space, &[node]).expect("vector key"),
+            pcb_config: pcb_config.clone(),
+            timing,
+        };
+        save_spec(&state_dir, &spec).expect("spec written");
+        let peers: Vec<(usize, SocketAddr)> =
+            (0..N).filter(|j| *j != node).map(|j| (j, addrs[j].0)).collect();
+        let child = spawn_live(&state_dir, addrs[node].0, addrs[node].1, &peers, false)
+            .expect("daemon spawns");
+        procs.push(DaemonProc { child, state_dir, listen: addrs[node].0, rpc: addrs[node].1 });
+    }
+
+    // The victim's delivery log dies with its process; keep a live
+    // subscription so the pre-kill stream is still observable.
+    let victim = 2usize;
+    let (mut victim_sub, victim_backlog) = subscribe(procs[victim].rpc);
+
+    // Phase A: everyone publishes with all three nodes up.
+    for k in 0..100u32 {
+        for proc in &procs {
+            publish(proc.rpc, k);
+        }
+    }
+
+    // The restore path below must come from a real snapshot: wait for
+    // the victim to cut one (cadence is 150ms).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let s = status(procs[victim].rpc);
+        if s.get("snapshots_taken").and_then(Value::as_u64).unwrap_or(0) >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "victim never cut a snapshot");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Mid-stream SIGKILL: no shutdown RPC, no flush — the WAL-before-ack
+    // discipline is what must make this survivable.
+    procs[victim].child.kill().expect("SIGKILL");
+    let _ = procs[victim].child.wait();
+    let mut victim_events_before = victim_backlog;
+    victim_events_before.extend(drain_events(&mut victim_sub));
+    assert!(!victim_events_before.is_empty(), "victim delivered nothing before the kill");
+
+    // Phase B: the survivors keep publishing into the dead node's gap.
+    for k in 100..250u32 {
+        publish(procs[0].rpc, k);
+        publish(procs[1].rpc, k);
+    }
+
+    // Restart from disk: same sockets, --resume, then the restore RPC
+    // (the daemon comes back crashed-deaf, like a booting process).
+    let _ = std::fs::remove_file(procs[victim].state_dir.join("listen.txt"));
+    let peers: Vec<(usize, SocketAddr)> =
+        (0..N).filter(|j| *j != victim).map(|j| (j, addrs[j].0)).collect();
+    procs[victim].child =
+        spawn_live(&procs[victim].state_dir, procs[victim].listen, procs[victim].rpc, &peers, true)
+            .expect("daemon respawns");
+    let v = rpc(procs[victim].rpc, &Value::object([("op", Value::from("restore"))]));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "restore failed: {}", v.to_json());
+
+    // Phase C: everyone publishes again, topping each node up to its
+    // quota (1000 messages total).
+    for k in 250..400u32 {
+        publish(procs[0].rpc, k);
+        publish(procs[1].rpc, k);
+    }
+    for k in 100..200u32 {
+        publish(procs[victim].rpc, k);
+    }
+
+    // Convergence: every node must deliver both other streams in full.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let done = (0..N).all(|node| {
+            let want: u64 = (0..N).filter(|j| *j != node).map(|j| PUBLISHES[j]).sum();
+            status(procs[node].rpc).get("delivered").and_then(Value::as_u64).unwrap_or(0) >= want
+        });
+        if done {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cluster never converged after the restart");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The restart must have gone through the snapshot + anti-entropy
+    // path, not a silent fresh start.
+    let s = status(procs[victim].rpc);
+    assert_eq!(
+        s.get("snapshot_restores").and_then(Value::as_u64),
+        Some(1),
+        "victim status: {}",
+        s.to_json()
+    );
+    assert!(
+        s.get("refetched").and_then(Value::as_u64).unwrap_or(0) > 0,
+        "victim refetched nothing via anti-entropy: {}",
+        s.to_json()
+    );
+    assert_eq!(s.get("incarnation").and_then(Value::as_u64), Some(2), "victim incarnation");
+
+    // Stream certification. Fresh subscriptions replay each process's
+    // full in-memory delivery log; the victim's pre-kill stream comes
+    // from the long-lived subscription drained above.
+    let mut oracle = StreamOracle::new(N);
+    for node in [0usize, 1] {
+        let (mut sub, mut events) = subscribe(procs[node].rpc);
+        events.extend(drain_events(&mut sub));
+        for (sender, seq) in events {
+            oracle.record_delivery(node, sender, seq).expect("survivor stream clean");
+        }
+    }
+    for (sender, seq) in victim_events_before {
+        oracle.record_delivery(victim, sender, seq).expect("victim pre-kill stream clean");
+    }
+    oracle.mark_crash(victim);
+    let (mut sub, mut events) = subscribe(procs[victim].rpc);
+    events.extend(drain_events(&mut sub));
+    for (sender, seq) in events {
+        oracle.record_delivery(victim, sender, seq).expect("victim post-restore stream clean");
+    }
+    oracle.certify(&PUBLISHES).expect("a delivery stream has holes");
+    // Cross-incarnation redeliveries happen whenever the kill landed
+    // after post-snapshot deliveries; that's timing-dependent, so it's
+    // reported rather than asserted.
+    eprintln!("victim redelivered {} messages across the restart", oracle.redelivered(victim));
+
+    for proc in &mut procs {
+        let _ = rpc(proc.rpc, &Value::object([("op", Value::from("shutdown"))]));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match proc.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                _ => {
+                    let _ = proc.child.kill();
+                    let _ = proc.child.wait();
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Process-level leg of the differential gate, cargo-test subset.
+//!
+//! The `daemon-equiv` binary certifies all 24 seeds; here two
+//! representative seeds (one per clock family, one of them through a
+//! lossy socket shim) replay against real `pcb-daemon` processes so the
+//! ordinary test run exercises spawn → stream → SIGKILL → respawn →
+//! bit-for-bit diff without the full corpus cost.
+//!
+//! Skips (with a visible marker) when the environment forbids spawning
+//! subprocesses.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pcb_clock::{AssignmentPolicy, KeySpace};
+use pcb_runtime::{certify_record, CertifyOptions, LinkFaults};
+use pcb_sim::{chaos_config, record_endpoint_chaos};
+
+const N: usize = 9;
+const DURATION_MS: f64 = 2500.0;
+
+fn daemon_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_pcb-daemon"))
+}
+
+/// Whether this environment can spawn the daemon at all; sandboxes that
+/// forbid fork/exec skip the suite instead of failing it.
+fn can_spawn() -> bool {
+    Command::new(daemon_bin()).arg("--help").output().is_ok()
+}
+
+fn certify_seed(seed: u64, space: KeySpace, policy: AssignmentPolicy, faults: Option<LinkFaults>) {
+    let cfg = chaos_config(seed, N, DURATION_MS);
+    let record = record_endpoint_chaos(&cfg, space, policy)
+        .unwrap_or_else(|e| panic!("seed {seed}: chaos run failed: {e}"));
+
+    let work_dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("daemon-replay-{seed}"));
+    let mut opts = CertifyOptions::new(daemon_bin(), work_dir);
+    opts.shim_faults = faults;
+
+    let stats = certify_record(&record, &opts)
+        .unwrap_or_else(|e| panic!("seed {seed}: daemon certification failed: {e}"));
+    assert!(stats.deliveries > 0, "seed {seed}: no deliveries certified");
+    assert!(stats.kills > 0, "seed {seed}: the plan should have SIGKILLed at least one process");
+    assert_eq!(stats.kills, stats.restarts, "seed {seed}: every kill must restart from disk");
+}
+
+#[test]
+fn vector_seed_replays_through_real_processes() {
+    if !can_spawn() {
+        eprintln!("SKIPPED: cannot spawn pcb-daemon in this environment");
+        return;
+    }
+    // Lossy shim: the reliable channel must absorb burst loss, dup,
+    // reorder, and corruption without perturbing the delivery stream.
+    let faults =
+        LinkFaults { drop: 0.15, dup: 0.10, reorder: 0.10, reorder_extra_ms: 2.0, corrupt: 0.05 };
+    certify_seed(1, KeySpace::vector(N).unwrap(), AssignmentPolicy::RoundRobin, Some(faults));
+}
+
+#[test]
+fn probabilistic_seed_replays_through_real_processes() {
+    if !can_spawn() {
+        eprintln!("SKIPPED: cannot spawn pcb-daemon in this environment");
+        return;
+    }
+    certify_seed(101, KeySpace::new(100, 4).unwrap(), AssignmentPolicy::UniformRandom, None);
+}

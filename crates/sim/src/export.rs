@@ -1,0 +1,606 @@
+//! Replay-script export: everything a *separate OS process* needs to
+//! re-run one node of a recorded chaos run, serialized.
+//!
+//! The in-process differential harness hands a
+//! [`ChaosRecord`](crate::chaos::ChaosRecord) straight to the loopback
+//! cluster. The multi-process harness cannot: each node lives in its own
+//! `pcb-daemon` process, reached over a real UDP socket, and a SIGKILLed
+//! node restarts from nothing but its on-disk state. This module
+//! flattens the record into that world:
+//!
+//! * [`ReplayScript::from_record`] splits the chronological input log
+//!   into **per-node step streams**. An endpoint is a pure function of
+//!   its own input sequence — inputs to different nodes commute — so
+//!   per-node order is the only order the replay must preserve, and the
+//!   driver can pipeline nodes independently.
+//! * [`encode_step`]/[`decode_step`] give each `(now_us, Input)` a
+//!   self-contained byte form. Messages travel as standalone wire-v3
+//!   full frames ([`pcb_broadcast::wire`]), so the daemon reconstructs
+//!   bit-identical stamps, key sets, and payloads from bytes alone.
+//! * [`encode_node_spec`]/[`decode_node_spec`] carry the constructor
+//!   arguments (keys, protocol config, recovery timing) to a process
+//!   that shares no memory with the driver.
+//! * [`encode_digests`]/[`decode_digests`] carry delivery digests —
+//!   `(id, instant_alert, recent_alert)`, the equivalence currency —
+//!   back from daemon to driver.
+//!
+//! Everything decodes totally: corrupt or truncated bytes produce an
+//! [`ExportError`], never a panic.
+
+use bytes::Bytes;
+use pcb_broadcast::endpoint::{Input, RecoveryTimingUs};
+use pcb_broadcast::{wire, Counters, Message, MessageId, PcbConfig, ProcessSnapshot, WireError};
+use pcb_clock::{KeySet, KeySpace, ProcessId};
+
+use crate::chaos::ChaosRecord;
+
+/// Errors decoding exported bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportError {
+    /// Bytes ended before the structure was complete.
+    Truncated,
+    /// Unknown step kind byte.
+    BadKind(u8),
+    /// An embedded frame decoded, but its payload is not the `u32` arena
+    /// index every replayed message carries.
+    BadPayload,
+    /// An embedded wire frame failed to decode.
+    Wire(WireError),
+    /// Key-set reconstruction from `(R, K, set_id)` failed.
+    Keys(String),
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// Constructor arguments for one replayed node, in serializable form.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// This node's index.
+    pub node: u32,
+    /// Cluster size.
+    pub n: u32,
+    /// The node's key set.
+    pub keys: KeySet,
+    /// Protocol configuration.
+    pub pcb_config: PcbConfig,
+    /// Recovery/anti-entropy timing.
+    pub timing: RecoveryTimingUs,
+}
+
+/// A chaos record flattened for multi-process replay.
+#[derive(Debug)]
+pub struct ReplayScript {
+    /// Cluster size.
+    pub n: usize,
+    /// Recovery timing every node was built with.
+    pub timing: RecoveryTimingUs,
+    /// Protocol configuration every node was built with.
+    pub pcb_config: PcbConfig,
+    /// Per-node key sets.
+    pub keys: Vec<KeySet>,
+    /// Per-node input streams, each in its recorded order.
+    pub steps: Vec<Vec<(u64, Input<u32>)>>,
+    /// Per-node delivery digests the replay must reproduce exactly.
+    pub expected: Vec<Vec<(MessageId, bool, bool)>>,
+    /// Per-node recovery counters at the end of the recorded run.
+    pub expected_counters: Vec<Counters>,
+}
+
+impl ReplayScript {
+    /// Splits `record` into per-node streams. Per-node order equals the
+    /// chronological order restricted to that node, which is all an
+    /// endpoint can observe.
+    #[must_use]
+    pub fn from_record(record: &ChaosRecord) -> Self {
+        let n = record.keys.len();
+        let mut steps = vec![Vec::new(); n];
+        for (now_us, node, input) in &record.inputs {
+            steps[*node as usize].push((*now_us, input.clone()));
+        }
+        Self {
+            n,
+            timing: record.timing,
+            pcb_config: record.pcb_config.clone(),
+            keys: record.keys.clone(),
+            steps,
+            expected: record.deliveries.clone(),
+            expected_counters: record.counters.clone(),
+        }
+    }
+
+    /// The [`NodeSpec`] for `node`.
+    #[must_use]
+    pub fn spec(&self, node: usize) -> NodeSpec {
+        NodeSpec {
+            node: node as u32,
+            n: self.n as u32,
+            keys: self.keys[node].clone(),
+            pcb_config: self.pcb_config.clone(),
+            timing: self.timing,
+        }
+    }
+}
+
+// ---- primitive readers ------------------------------------------------
+
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ExportError> {
+        if self.0.len() < n {
+            return Err(ExportError::Truncated);
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ExportError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ExportError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ExportError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn u128(&mut self) -> Result<u128, ExportError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("16 bytes")))
+    }
+
+    fn done(&self) -> Result<(), ExportError> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(ExportError::Truncated)
+        }
+    }
+}
+
+// ---- message <-> wire frame ------------------------------------------
+
+/// Encodes a replayed message as a standalone wire-v3 full frame (the
+/// `u32` arena payload travels as 4 big-endian bytes).
+#[must_use]
+pub fn message_to_wire(message: &Message<u32>) -> Bytes {
+    let bytes = message.clone().map(|v| Bytes::from(v.to_be_bytes().to_vec()));
+    wire::encode_full(&bytes)
+}
+
+/// Decodes a standalone wire frame back into a replayed message.
+///
+/// # Errors
+///
+/// [`ExportError::Wire`] for undecodable bytes, [`ExportError::BadPayload`]
+/// if the payload is not a 4-byte arena index.
+pub fn message_from_wire(frame: Bytes) -> Result<Message<u32>, ExportError> {
+    let message = wire::decode(frame).map_err(ExportError::Wire)?;
+    let payload: [u8; 4] =
+        message.payload().as_ref().try_into().map_err(|_| ExportError::BadPayload)?;
+    Ok(message.map(move |_| u32::from_be_bytes(payload)))
+}
+
+/// Rewrites a replayed-node snapshot to byte payloads so it can pass
+/// through [`pcb_broadcast::encode_snapshot`] for on-disk persistence.
+#[must_use]
+pub fn snapshot_to_wire(s: &ProcessSnapshot<u32>) -> ProcessSnapshot<Bytes> {
+    ProcessSnapshot {
+        id: s.id,
+        keys: s.keys.clone(),
+        config: s.config.clone(),
+        clock: s.clock.clone(),
+        seq: s.seq,
+        seen: s.seen.clone(),
+        stats: s.stats,
+        store_window: s.store_window,
+        store: s
+            .store
+            .iter()
+            .map(|(t, m)| (*t, m.clone().map(|v| Bytes::from(v.to_be_bytes().to_vec()))))
+            .collect(),
+    }
+}
+
+/// Rewrites a decoded on-disk snapshot back to `u32` payloads.
+///
+/// # Errors
+///
+/// [`ExportError::BadPayload`] if any stored payload is not a 4-byte
+/// arena index.
+pub fn snapshot_from_wire(s: ProcessSnapshot<Bytes>) -> Result<ProcessSnapshot<u32>, ExportError> {
+    let mut store = Vec::with_capacity(s.store.len());
+    for (t, m) in s.store {
+        let payload: [u8; 4] =
+            m.payload().as_ref().try_into().map_err(|_| ExportError::BadPayload)?;
+        store.push((t, m.map(move |_| u32::from_be_bytes(payload))));
+    }
+    Ok(ProcessSnapshot {
+        id: s.id,
+        keys: s.keys,
+        config: s.config,
+        clock: s.clock,
+        seq: s.seq,
+        seen: s.seen,
+        stats: s.stats,
+        store_window: s.store_window,
+        store,
+    })
+}
+
+// ---- step codec -------------------------------------------------------
+
+const STEP_FRAME: u8 = 0;
+const STEP_SYNC_REQUEST: u8 = 1;
+const STEP_SYNC_RESPONSE: u8 = 2;
+const STEP_TICK: u8 = 3;
+const STEP_BROADCAST: u8 = 4;
+const STEP_CRASH: u8 = 5;
+const STEP_RESTORE: u8 = 6;
+
+fn put_frame(out: &mut Vec<u8>, message: &Message<u32>) {
+    let frame = message_to_wire(message);
+    out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame);
+}
+
+/// Serializes one replay step.
+#[must_use]
+pub fn encode_step(now_us: u64, input: &Input<u32>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&now_us.to_le_bytes());
+    match input {
+        Input::FrameReceived(message) => {
+            out.push(STEP_FRAME);
+            put_frame(&mut out, message);
+        }
+        Input::SyncRequest { from, known } => {
+            out.push(STEP_SYNC_REQUEST);
+            out.extend_from_slice(&(from.index() as u32).to_le_bytes());
+            out.extend_from_slice(&(known.len() as u32).to_le_bytes());
+            for id in known {
+                out.extend_from_slice(&(id.sender().index() as u32).to_le_bytes());
+                out.extend_from_slice(&id.seq().to_le_bytes());
+            }
+        }
+        Input::SyncResponse(messages) => {
+            out.push(STEP_SYNC_RESPONSE);
+            out.extend_from_slice(&(messages.len() as u32).to_le_bytes());
+            for message in messages {
+                put_frame(&mut out, message);
+            }
+        }
+        Input::Tick => out.push(STEP_TICK),
+        Input::Broadcast(payload) => {
+            out.push(STEP_BROADCAST);
+            out.extend_from_slice(&payload.to_le_bytes());
+        }
+        Input::Crash => out.push(STEP_CRASH),
+        Input::Restore => out.push(STEP_RESTORE),
+    }
+    out
+}
+
+fn read_frame(r: &mut Reader<'_>) -> Result<Message<u32>, ExportError> {
+    let len = r.u32()? as usize;
+    let frame = Bytes::from(r.take(len)?);
+    message_from_wire(frame)
+}
+
+/// Deserializes one replay step.
+///
+/// # Errors
+///
+/// [`ExportError`] on malformed bytes; never panics.
+pub fn decode_step(bytes: &[u8]) -> Result<(u64, Input<u32>), ExportError> {
+    let mut r = Reader(bytes);
+    let now_us = r.u64()?;
+    let kind = r.u8()?;
+    let input = match kind {
+        STEP_FRAME => Input::FrameReceived(read_frame(&mut r)?),
+        STEP_SYNC_REQUEST => {
+            let from = ProcessId::new(r.u32()? as usize);
+            let count = r.u32()? as usize;
+            let mut known = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                let sender = ProcessId::new(r.u32()? as usize);
+                known.push(MessageId::new(sender, r.u64()?));
+            }
+            Input::SyncRequest { from, known }
+        }
+        STEP_SYNC_RESPONSE => {
+            let count = r.u32()? as usize;
+            let mut messages = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                messages.push(read_frame(&mut r)?);
+            }
+            Input::SyncResponse(messages)
+        }
+        STEP_TICK => Input::Tick,
+        STEP_BROADCAST => Input::Broadcast(r.u32()?),
+        STEP_CRASH => Input::Crash,
+        STEP_RESTORE => Input::Restore,
+        other => return Err(ExportError::BadKind(other)),
+    };
+    r.done()?;
+    Ok((now_us, input))
+}
+
+// ---- node spec codec --------------------------------------------------
+
+/// Serializes the constructor arguments for one replayed node.
+#[must_use]
+pub fn encode_node_spec(spec: &NodeSpec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&spec.node.to_le_bytes());
+    out.extend_from_slice(&spec.n.to_le_bytes());
+    out.extend_from_slice(&(spec.keys.space().r() as u32).to_le_bytes());
+    out.extend_from_slice(&(spec.keys.space().k() as u32).to_le_bytes());
+    out.extend_from_slice(&spec.keys.set_id().to_le_bytes());
+    out.push(u8::from(spec.pcb_config.detect_instant));
+    out.push(u8::from(spec.pcb_config.recent_window.is_some()));
+    out.extend_from_slice(&spec.pcb_config.recent_window.unwrap_or(0).to_le_bytes());
+    out.push(u8::from(spec.pcb_config.dedup));
+    out.extend_from_slice(&(spec.pcb_config.trace_capacity as u64).to_le_bytes());
+    for v in [
+        spec.timing.stale_after_us,
+        spec.timing.poll_every_us,
+        spec.timing.store_window_us,
+        spec.timing.snapshot_every_us,
+        spec.timing.sync_timeout_us,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a [`NodeSpec`].
+///
+/// # Errors
+///
+/// [`ExportError`] on malformed bytes or an invalid key set.
+pub fn decode_node_spec(bytes: &[u8]) -> Result<NodeSpec, ExportError> {
+    let mut r = Reader(bytes);
+    let node = r.u32()?;
+    let n = r.u32()?;
+    let (kr, kk) = (r.u32()? as usize, r.u32()? as usize);
+    let set_id = r.u128()?;
+    let space = KeySpace::new(kr, kk).map_err(|e| ExportError::Keys(e.to_string()))?;
+    let keys = KeySet::from_set_id(space, set_id).map_err(|e| ExportError::Keys(e.to_string()))?;
+    let detect_instant = r.u8()? != 0;
+    let has_recent = r.u8()? != 0;
+    let recent_window = r.u64()?;
+    let dedup = r.u8()? != 0;
+    let trace_capacity = r.u64()? as usize;
+    let timing = RecoveryTimingUs {
+        stale_after_us: r.u64()?,
+        poll_every_us: r.u64()?,
+        store_window_us: r.u64()?,
+        snapshot_every_us: r.u64()?,
+        sync_timeout_us: r.u64()?,
+    };
+    r.done()?;
+    Ok(NodeSpec {
+        node,
+        n,
+        keys,
+        pcb_config: PcbConfig {
+            detect_instant,
+            recent_window: has_recent.then_some(recent_window),
+            dedup,
+            trace_capacity,
+        },
+        timing,
+    })
+}
+
+// ---- digest codec -----------------------------------------------------
+
+/// Serializes delivery digests (`(id, instant_alert, recent_alert)`).
+#[must_use]
+pub fn encode_digests(digests: &[(MessageId, bool, bool)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + digests.len() * 13);
+    out.extend_from_slice(&(digests.len() as u32).to_le_bytes());
+    for (id, instant, recent) in digests {
+        out.extend_from_slice(&(id.sender().index() as u32).to_le_bytes());
+        out.extend_from_slice(&id.seq().to_le_bytes());
+        out.push(u8::from(*instant) | (u8::from(*recent) << 1));
+    }
+    out
+}
+
+/// Deserializes delivery digests.
+///
+/// # Errors
+///
+/// [`ExportError::Truncated`] on malformed bytes.
+pub fn decode_digests(bytes: &[u8]) -> Result<Vec<(MessageId, bool, bool)>, ExportError> {
+    let mut r = Reader(bytes);
+    let count = r.u32()? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let sender = ProcessId::new(r.u32()? as usize);
+        let seq = r.u64()?;
+        let flags = r.u8()?;
+        out.push((MessageId::new(sender, seq), flags & 1 != 0, flags & 2 != 0));
+    }
+    r.done()?;
+    Ok(out)
+}
+
+/// Serializes recovery counters (for the daemon `status` leg).
+#[must_use]
+pub fn encode_counters(c: &Counters) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40);
+    for v in [c.sync_requests, c.sync_served, c.refetched, c.snapshots_taken, c.snapshot_restores] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes recovery counters.
+///
+/// # Errors
+///
+/// [`ExportError::Truncated`] on malformed bytes.
+pub fn decode_counters(bytes: &[u8]) -> Result<Counters, ExportError> {
+    let mut r = Reader(bytes);
+    let c = Counters {
+        sync_requests: r.u64()?,
+        sync_served: r.u64()?,
+        refetched: r.u64()?,
+        snapshots_taken: r.u64()?,
+        snapshot_restores: r.u64()?,
+    };
+    r.done()?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcb_broadcast::Endpoint;
+    use pcb_clock::AssignmentPolicy;
+
+    use crate::chaos::record_endpoint_chaos;
+    use crate::runner::chaos_config;
+
+    fn sample_message() -> Message<u32> {
+        let space = KeySpace::new(16, 2).unwrap();
+        let keys = KeySet::from_entries(space, &[3, 9]).unwrap();
+        let mut ep = Endpoint::new(ProcessId::new(2), keys, PcbConfig::default(), None);
+        let outs = ep.handle(Input::Broadcast(77), 1_000);
+        outs.into_iter()
+            .find_map(|o| match o {
+                pcb_broadcast::Output::SendFrame(m) => Some(m),
+                _ => None,
+            })
+            .expect("broadcast emits a frame")
+    }
+
+    #[test]
+    fn step_codec_round_trips_every_kind() {
+        let m = sample_message();
+        let steps: Vec<(u64, Input<u32>)> = vec![
+            (1, Input::FrameReceived(m.clone())),
+            (
+                2,
+                Input::SyncRequest {
+                    from: ProcessId::new(4),
+                    known: vec![m.id(), MessageId::new(ProcessId::new(1), 9)],
+                },
+            ),
+            (3, Input::SyncResponse(vec![m.clone(), m.clone()])),
+            (4, Input::SyncResponse(Vec::new())),
+            (5, Input::Tick),
+            (6, Input::Broadcast(123)),
+            (7, Input::Crash),
+            (8, Input::Restore),
+        ];
+        for (now, input) in steps {
+            let bytes = encode_step(now, &input);
+            let (now2, input2) = decode_step(&bytes).unwrap();
+            assert_eq!(now, now2);
+            // Inputs lack PartialEq; compare via a second encode.
+            assert_eq!(bytes, encode_step(now2, &input2), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn step_codec_is_total() {
+        let bytes = encode_step(9, &Input::FrameReceived(sample_message()));
+        for cut in 0..bytes.len() {
+            assert!(decode_step(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[8] = 99; // unknown kind
+        assert!(matches!(decode_step(&bad), Err(ExportError::BadKind(99))));
+    }
+
+    #[test]
+    fn node_spec_round_trips() {
+        let space = KeySpace::new(10, 3).unwrap();
+        let spec = NodeSpec {
+            node: 4,
+            n: 9,
+            keys: KeySet::from_entries(space, &[1, 5, 7]).unwrap(),
+            pcb_config: PcbConfig {
+                detect_instant: true,
+                recent_window: Some(12_345),
+                dedup: true,
+                trace_capacity: 64,
+            },
+            timing: RecoveryTimingUs::default(),
+        };
+        let bytes = encode_node_spec(&spec);
+        let back = decode_node_spec(&bytes).unwrap();
+        assert_eq!(back.node, 4);
+        assert_eq!(back.n, 9);
+        assert_eq!(back.keys, spec.keys);
+        assert_eq!(back.pcb_config, spec.pcb_config);
+        assert_eq!(back.timing, spec.timing);
+        for cut in 0..bytes.len() {
+            assert!(decode_node_spec(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn digest_and_counter_codecs_round_trip() {
+        let digests = vec![
+            (MessageId::new(ProcessId::new(0), 1), false, false),
+            (MessageId::new(ProcessId::new(3), 77), true, false),
+            (MessageId::new(ProcessId::new(8), 2), true, true),
+        ];
+        assert_eq!(decode_digests(&encode_digests(&digests)).unwrap(), digests);
+        let c = Counters {
+            sync_requests: 1,
+            sync_served: 2,
+            refetched: 3,
+            snapshots_taken: 4,
+            snapshot_restores: 5,
+        };
+        assert_eq!(decode_counters(&encode_counters(&c)).unwrap(), c);
+    }
+
+    /// The design lynchpin of the multi-process harness: replaying each
+    /// node's stream **independently** (through the step codec, as the
+    /// daemons will) reproduces the recorded digests bit-for-bit —
+    /// endpoints observe only their own input order.
+    #[test]
+    fn per_node_replay_through_the_codec_matches_the_record() {
+        let cfg = chaos_config(5, 5, 800.0);
+        let space = KeySpace::new(16, 2).unwrap();
+        let record = record_endpoint_chaos(&cfg, space, AssignmentPolicy::RoundRobin).unwrap();
+        let script = ReplayScript::from_record(&record);
+        for node in 0..script.n {
+            let spec = script.spec(node);
+            let spec = decode_node_spec(&encode_node_spec(&spec)).unwrap();
+            let mut ep = Endpoint::new(
+                ProcessId::new(spec.node as usize),
+                spec.keys,
+                spec.pcb_config,
+                Some(spec.timing),
+            );
+            let mut digests = Vec::new();
+            for (now, input) in &script.steps[node] {
+                let bytes = encode_step(*now, input);
+                let (now, input) = decode_step(&bytes).unwrap();
+                for out in ep.handle(input, now) {
+                    if let pcb_broadcast::Output::Deliver(d) = out {
+                        digests.push((d.message.id(), d.instant_alert, d.recent_alert));
+                    }
+                }
+            }
+            assert_eq!(digests, script.expected[node], "node {node}");
+            assert_eq!(ep.recovery_counters(), script.expected_counters[node], "node {node}");
+        }
+    }
+}

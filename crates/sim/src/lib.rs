@@ -31,6 +31,7 @@
 pub mod chaos;
 pub mod config;
 pub mod engine;
+pub mod export;
 pub mod fault;
 pub mod metrics;
 pub mod oracle;
@@ -45,6 +46,11 @@ pub use config::{ChurnModel, Dissemination, LatencyDistribution, LossModel, SimC
 pub use engine::{
     simulate, simulate_fifo, simulate_immediate, simulate_prob, simulate_prob_detecting,
     simulate_prob_traced, simulate_traced, simulate_vector, SimError,
+};
+pub use export::{
+    decode_counters, decode_digests, decode_node_spec, decode_step, encode_counters,
+    encode_digests, encode_node_spec, encode_step, message_from_wire, message_to_wire,
+    snapshot_from_wire, snapshot_to_wire, ExportError, NodeSpec, ReplayScript,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkFaults, PlanParseError};
 pub use metrics::RunMetrics;

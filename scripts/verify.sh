@@ -8,6 +8,7 @@
 #   scripts/verify.sh --trace  # the above plus the observability gate
 #   scripts/verify.sh --perf   # the above plus hot-path regression gates
 #   scripts/verify.sh --equiv  # the above plus the sim/runtime differential gate
+#   scripts/verify.sh --daemon # the above plus the real-process replay leg
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,6 +90,26 @@ fi
 if [[ "${1:-}" == "--equiv" ]]; then
     run cargo test -p pcb-runtime --test equivalence -q
     run cargo test -p pcb-sim --test shell_guard -q
+fi
+
+# Optional daemon stage: the process-level leg of the differential gate.
+# A subset of the seeded chaos plans (including lossy-shim seeds 1 and
+# 5) replays against real pcb-daemon OS processes — recorded crashes as
+# actual SIGKILLs, restarts from snapshot + WAL — plus the live-mode
+# 3-process kill -9 integration test. Environments that forbid
+# fork/exec print an explicit SKIPPED marker instead of failing.
+if [[ "${1:-}" == "--daemon" ]]; then
+    run cargo build --release -p pcb-runtime --bins
+    spawn_rc=0
+    ./target/release/pcb-daemon --help >/dev/null 2>&1 || spawn_rc=$?
+    if [[ "$spawn_rc" -le 2 ]]; then
+        run ./target/release/daemon-equiv --daemon ./target/release/pcb-daemon \
+            --work-dir target/daemon-equiv --seeds 6
+        run cargo test -p pcb-runtime --test daemon_replay -q
+        run cargo test -p pcb-runtime --test daemon -q
+    else
+        echo "==> SKIPPED: cannot spawn pcb-daemon in this environment (exit $spawn_rc)"
+    fi
 fi
 
 echo "verify: OK"
